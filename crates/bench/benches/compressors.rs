@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks: end-to-end compression and decompression
+//! throughput of PaSTRI, SZ, and ZFP on model ERI data (Fig. 9(c,d)'s
+//! measurement, under criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pastri::{BlockGeometry, Compressor};
+use qchem::basis::BfConfig;
+use qchem::dataset::EriDataset;
+
+fn bench_compress(c: &mut Criterion) {
+    let config = BfConfig::dd_dd();
+    let ds = EriDataset::generate_model(config, 200, 42);
+    let bytes = (ds.values.len() * 8) as u64;
+    let eb = 1e-10;
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+
+    let geom = BlockGeometry::from_dims(config.dims());
+    group.bench_function(BenchmarkId::new("pastri", "dd_dd"), |b| {
+        let comp = Compressor::new(geom, eb);
+        b.iter(|| comp.compress(&ds.values));
+    });
+    group.bench_function(BenchmarkId::new("sz", "dd_dd"), |b| {
+        let comp = sz_lossy::SzCompressor::new(eb);
+        b.iter(|| comp.compress(&ds.values));
+    });
+    group.bench_function(BenchmarkId::new("zfp", "dd_dd"), |b| {
+        let comp = zfp_lossy::ZfpCompressor::new(eb);
+        b.iter(|| comp.compress(&ds.values));
+    });
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let config = BfConfig::dd_dd();
+    let ds = EriDataset::generate_model(config, 200, 42);
+    let bytes = (ds.values.len() * 8) as u64;
+    let eb = 1e-10;
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+
+    let geom = BlockGeometry::from_dims(config.dims());
+    let pastri_bytes = Compressor::new(geom, eb).compress(&ds.values);
+    group.bench_function(BenchmarkId::new("pastri", "dd_dd"), |b| {
+        b.iter(|| pastri::decompress(&pastri_bytes).unwrap());
+    });
+    let sz_bytes = sz_lossy::SzCompressor::new(eb).compress(&ds.values);
+    group.bench_function(BenchmarkId::new("sz", "dd_dd"), |b| {
+        b.iter(|| sz_lossy::decompress(&sz_bytes).unwrap());
+    });
+    let zfp_bytes = zfp_lossy::ZfpCompressor::new(eb).compress(&ds.values);
+    group.bench_function(BenchmarkId::new("zfp", "dd_dd"), |b| {
+        b.iter(|| zfp_lossy::decompress(&zfp_bytes).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let config = BfConfig::dd_dd();
+    let ds = EriDataset::generate_model(config, 50, 42);
+    let bytes = (ds.values.len() * 8) as u64;
+
+    let mut group = c.benchmark_group("lossless");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.bench_function("fpc", |b| {
+        b.iter(|| lossless::fpc::compress(&ds.values));
+    });
+    group.bench_function("deflate_like", |b| {
+        b.iter(|| lossless::deflate_like::compress_doubles(&ds.values));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_lossless);
+criterion_main!(benches);

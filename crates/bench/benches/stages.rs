@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of PaSTRI's individual pipeline stages and
+//! substrates: pattern fitting per metric, ECQ tree encoding, the Boys
+//! function, and analytic ERI block evaluation. These quantify the
+//! paper's per-stage cost claims (e.g. "ER has the lowest computation
+//! complexity" among the scaling metrics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pastri::{BlockGeometry, EncodingTree, ScalingMetric};
+use qchem::basis::{BfConfig, Shell};
+use qchem::boys::boys_vec;
+use qchem::dataset::EriDataset;
+use qchem::md::eri_block;
+
+fn bench_scaling_metrics(c: &mut Criterion) {
+    let config = BfConfig::dd_dd();
+    let ds = EriDataset::generate_model(config, 50, 7);
+    let geom = BlockGeometry::from_dims(config.dims());
+    let block = &ds.values[..geom.block_size()];
+
+    let mut group = c.benchmark_group("pattern_fit");
+    group.throughput(Throughput::Bytes((block.len() * 8) as u64));
+    for metric in ScalingMetric::ALL {
+        group.bench_function(BenchmarkId::new("metric", metric.name()), |b| {
+            b.iter(|| pastri::fit_pattern(metric, &geom, block));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding_trees(c: &mut Criterion) {
+    // A representative ECQ stream: mostly zeros, some ±1, a thin tail.
+    let ecq: Vec<i64> = (0..100_000)
+        .map(|i| match i % 97 {
+            0 => 1,
+            1 => -1,
+            2 if i % 9409 == 2 => 1000,
+            _ => 0,
+        })
+        .collect();
+    let mut group = c.benchmark_group("ecq_encode");
+    group.throughput(Throughput::Elements(ecq.len() as u64));
+    for tree in EncodingTree::PAPER_TREES {
+        group.bench_function(BenchmarkId::new("tree", tree.name()), |b| {
+            b.iter(|| {
+                let mut w = bitio::BitWriter::new();
+                tree.encode_stream(&ecq, 12, &mut w);
+                w.into_bytes()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_boys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boys_function");
+    for &x in &[0.5, 20.0, 200.0] {
+        group.bench_function(BenchmarkId::new("order12", format!("x={x}")), |b| {
+            b.iter(|| boys_vec(12, x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_eri_block(c: &mut Criterion) {
+    let d1 = Shell {
+        center: [0.0, 0.0, 0.0],
+        l: 2,
+        exps: vec![1.2],
+        coefs: vec![1.0],
+    };
+    let d2 = Shell {
+        center: [1.5, 0.5, -0.5],
+        l: 2,
+        exps: vec![0.9],
+        coefs: vec![1.0],
+    };
+    let mut group = c.benchmark_group("eri_block");
+    group.sample_size(20);
+    group.bench_function("dd_dd_quartet", |b| {
+        b.iter(|| eri_block(&d1, &d2, &d2, &d1));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_metrics,
+    bench_encoding_trees,
+    bench_boys,
+    bench_eri_block
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Fig. 11 — total computation time to obtain integral data: recompute
+//! with GAMESS every time vs generate once + PaSTRI compress/decompress.
+//!
+//! ERI generation rates are the paper's own GAMESS measurements
+//! ((dd|dd) 322.82 MB/s, (ff|ff) 622.81 MB/s); PaSTRI rates are measured
+//! from this implementation. Data reused 20 times, as in the paper.
+//! Bars are normalized to the Original infrastructure, per config.
+
+use bench::{print_header, print_row, standard_dataset, Codec};
+use pfs_sim::{gamess_eri_rate_mbs, ReuseModel};
+use qchem::basis::BfConfig;
+
+fn main() {
+    println!("Fig. 11 reproduction — normalized time to obtain ERI data (reuse = 20)\n");
+    let reuse = 20u32;
+    let widths = [22usize, 9, 12, 11, 13, 12];
+    print_header(
+        &["infrastructure", "EB", "calculate", "compress", "decompress", "total"],
+        &widths,
+    );
+    for config in [BfConfig::dd_dd(), BfConfig::ff_ff()] {
+        let label = config.label();
+        let ds = standard_dataset("alanine", config);
+        let model = ReuseModel {
+            bytes: 2e9, // the paper's ≥2 GB sampled dataset
+            eri_gen_mbs: gamess_eri_rate_mbs(&label),
+            reuse_count: reuse,
+        };
+        let orig = model.original();
+        print_row(
+            &[
+                format!("Original {label}"),
+                "-".to_string(),
+                "1.000".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "1.000".to_string(),
+            ],
+            &widths,
+        );
+        for &eb in &[1e-11, 1e-10, 1e-9] {
+            let prof = Codec::Pastri.profile(&ds.values, config, eb);
+            let fast = model.with_compressor(&prof);
+            let norm = |s: f64| format!("{:.3}", s / orig.total_s());
+            print_row(
+                &[
+                    format!("PaSTRI infra. {label}"),
+                    format!("{eb:.0e}"),
+                    norm(fast.calculate_s),
+                    norm(fast.compress_s),
+                    norm(fast.decompress_s),
+                    norm(fast.total_s()),
+                ],
+                &widths,
+            );
+            assert!(
+                fast.total_s() < orig.total_s(),
+                "PaSTRI infrastructure must beat recomputation"
+            );
+        }
+    }
+    println!(
+        "\npaper: ~87% of GAMESS Hartree-Fock time is integral computation \
+         ((dd|dd) 322.82 MB/s, (ff|ff) 622.81 MB/s) vs ~1 GB/s PaSTRI \
+         decompression -> the compress-once infrastructure wins for any \
+         realistic reuse count."
+    );
+}

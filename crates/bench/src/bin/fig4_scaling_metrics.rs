@@ -1,0 +1,110 @@
+//! Fig. 4 (table) — compression ratio by pattern-scaling metric.
+//!
+//! Paper values on its workload: FR N/A, ER 17.46, AR 16.92, AAR 17.44,
+//! IS 17.29 — ER wins and FR is unusable. This binary sweeps all five
+//! metrics over the standard datasets at EB = 1e-10 and prints the same
+//! table; expect the same ordering (ER best, FR far behind), not the
+//! same absolute values (different data).
+
+use bench::{geometry_of, print_header, print_row, standard_dataset, MOLECULES};
+use pastri::{Compressor, CompressorOptions, ScalingMetric};
+use qchem::basis::BfConfig;
+
+fn main() {
+    let eb = 1e-10;
+    println!("Fig. 4 reproduction — compression ratio by scaling metric (EB = {eb:.0e})\n");
+    let configs = [BfConfig::dd_dd(), BfConfig::ff_ff()];
+    let mut totals: Vec<(u64, u64)> = vec![(0, 0); ScalingMetric::ALL.len()];
+
+    let widths = [22usize, 8, 8, 8, 8, 8];
+    print_header(&["dataset", "FR", "ER", "AR", "AAR", "IS"], &widths);
+    for mol in MOLECULES {
+        for config in configs {
+            let ds = standard_dataset(mol, config);
+            let mut cells = vec![format!("{mol} {}", config.label())];
+            for (mi, metric) in ScalingMetric::ALL.iter().enumerate() {
+                let compressor = Compressor::with_options(
+                    geometry_of(config),
+                    eb,
+                    CompressorOptions {
+                        metric: *metric,
+                        ..Default::default()
+                    },
+                );
+                let bytes = compressor.compress(&ds.values);
+                totals[mi].0 += (ds.values.len() * 8) as u64;
+                totals[mi].1 += bytes.len() as u64;
+                cells.push(format!(
+                    "{:.2}",
+                    (ds.values.len() * 8) as f64 / bytes.len() as f64
+                ));
+            }
+            print_row(&cells, &widths);
+        }
+    }
+    let mut cells = vec!["OVERALL".to_string()];
+    let mut overall: Vec<f64> = Vec::new();
+    for (orig, comp) in &totals {
+        let cr = *orig as f64 / *comp as f64;
+        overall.push(cr);
+        cells.push(format!("{cr:.2}"));
+    }
+    print_row(&cells, &widths);
+
+    println!("\npaper (GAMESS workload): FR N/A | ER 17.46 | AR 16.92 | AAR 17.44 | IS 17.29");
+    println!(
+        "note: as in the paper, the four usable metrics land within a few percent of\n\
+         each other; the exact ordering depends on the block population. The paper's\n\
+         two robust claims are checked below."
+    );
+
+    // Claim 1 (on Eq.-3 model data at volume): ER beats FR.
+    let config = BfConfig::dd_dd();
+    let model = qchem::dataset::EriDataset::generate_model(config, 1000, 4242);
+    let raw = (model.values.len() * 8) as f64;
+    let cr_of = |metric: ScalingMetric, values: &[f64]| {
+        let c = Compressor::with_options(
+            geometry_of(config),
+            eb,
+            CompressorOptions {
+                metric,
+                ..Default::default()
+            },
+        );
+        (values.len() * 8) as f64 / c.compress(values).len() as f64
+    };
+    let _ = raw;
+    let (fr_m, er_m) = (
+        cr_of(ScalingMetric::Fr, &model.values),
+        cr_of(ScalingMetric::Er, &model.values),
+    );
+    println!("\nmodel data (1000 far-field blocks): FR {fr_m:.2} vs ER {er_m:.2} -> ER wins: {}", er_m > fr_m);
+
+    // Claim 2: FR is unusable ("N/A") when first data points are near
+    // zero — exactly the failure mode the paper names. Blocks whose
+    // pattern starts at ~0 (a node of the shape function) collapse FR.
+    let geom = geometry_of(config);
+    let sbs = geom.subblock_size;
+    let mut data = Vec::new();
+    for b in 0..200usize {
+        let amp = 1e-6;
+        for j in 0..geom.num_subblocks {
+            let s = ((j + b) as f64 * 0.7).cos();
+            for i in 0..sbs {
+                // sin(pi i / n): exactly 0 at i = 0 for every sub-block.
+                let q = (std::f64::consts::PI * i as f64 / sbs as f64).sin();
+                data.push(amp * s * q + 1e-11 * ((i * 31 + j * 7 + b) % 13) as f64);
+            }
+        }
+    }
+    let (fr_z, er_z) = (
+        cr_of(ScalingMetric::Fr, &data),
+        cr_of(ScalingMetric::Er, &data),
+    );
+    println!(
+        "zero-first-element data: FR {fr_z:.2} vs ER {er_z:.2} -> FR collapses by {:.1}x \
+         (the paper's \"N/A\")",
+        er_z / fr_z
+    );
+    assert!(er_z > 1.5 * fr_z, "FR must collapse on zero-first data");
+}

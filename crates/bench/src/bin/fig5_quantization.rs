@@ -1,0 +1,72 @@
+//! Fig. 5 — the effect of quantization resolution on the scaled pattern.
+//!
+//! The paper's diagram shows that as the quantized scaled pattern
+//! converges to its precise values, the range the error-correction codes
+//! must cover converges to the intrinsic deviation. This binary makes the
+//! diagram quantitative: sweep the pattern/scale bit width over one real
+//! ERI block and report the resulting EC_b — reproducing Sec. IV-B's
+//! conclusion that the practical rule (`S_b = P_b`) costs at most ~2 bins
+//! over the ideal.
+
+use bench::standard_dataset;
+use pastri::{ecq_bits, fit_pattern, BlockGeometry, Quantizer, ScaleQuantizer, ScalingMetric};
+use qchem::basis::BfConfig;
+
+fn main() {
+    let eb = 1e-10;
+    let config = BfConfig::dd_dd();
+    let geom = BlockGeometry::from_dims(config.dims());
+    let ds = standard_dataset("alanine", config);
+
+    // A representative block with nonzero deviations.
+    let block = (0..ds.num_blocks())
+        .map(|b| ds.block(b))
+        .find(|blk| {
+            let ext = blk.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            ext > 1e-7
+        })
+        .expect("dataset has a usable block");
+
+    let quant = Quantizer::new(eb);
+    let fit = fit_pattern(ScalingMetric::Er, &geom, block);
+    let sbs = geom.subblock_size;
+    let pattern = &block[fit.pattern_sb * sbs..(fit.pattern_sb + 1) * sbs];
+    let (pq, pb_full) = quant.quantize_pattern(pattern).expect("finite pattern");
+    let phat_exact: Vec<f64> = pq.iter().map(|&q| quant.dequantize(q)).collect();
+
+    println!("Fig. 5 reproduction — EC range vs pattern/scale resolution (EB = {eb:.0e})");
+    println!("block: tri-alanine (dd|dd), P_b from the practical rule = {pb_full} bits\n");
+    println!("{:>8} {:>10} {:>14} {:>16}", "S_b bits", "EC_b,max", "max |ECQ|", "EC bins needed");
+
+    // Sweep the scale resolution from very coarse to the practical rule
+    // and beyond; the pattern stays at full (2·EB-bin) resolution, as in
+    // the paper's practical method.
+    let mut results = Vec::new();
+    for sb_bits in [4u32, 6, 8, 10, 12, pb_full, pb_full + 6, 33] {
+        let sq = ScaleQuantizer::new(sb_bits);
+        let mut max_ecq: i64 = 0;
+        for (j, &s) in fit.scales.iter().enumerate() {
+            let shat = sq.dequantize(sq.quantize(s));
+            for i in 0..sbs {
+                let v = block[j * sbs + i];
+                let pred = shat * phat_exact[i];
+                let q = quant.quantize(v - pred).expect("finite");
+                max_ecq = max_ecq.max(q.abs());
+            }
+        }
+        let bits = ecq_bits(max_ecq);
+        println!("{sb_bits:>8} {bits:>10} {max_ecq:>14} {:>16}", 2i64.saturating_pow(bits));
+        results.push((sb_bits, bits));
+    }
+
+    // The paper's claim: the practical rule is within ~2 bins of the
+    // asymptote reached with very high scale resolution.
+    let at_practical = results.iter().find(|(b, _)| *b == pb_full).unwrap().1;
+    let asymptote = results.last().unwrap().1;
+    println!(
+        "\npractical rule EC_b = {at_practical}, high-resolution asymptote = {asymptote} \
+         (paper: within ~2 bins) -> {}",
+        if at_practical <= asymptote + 2 { "reproduced" } else { "NOT reproduced" }
+    );
+    assert!(at_practical <= asymptote + 2);
+}

@@ -1,0 +1,82 @@
+//! Fig. 7 (table) — compression ratio by ECQ encoding tree.
+//!
+//! Paper values: Tree 1 17.60, Tree 2 17.34, Tree 3 17.99, Tree 4 17.41,
+//! Tree 5 18.13 — Tree 5 wins thanks to its adaptive split between
+//! EC_{b,max} = 2 blocks and larger ones; Tree 2 loses because ±1 is not
+//! frequent enough to justify demoting "others". A fixed-length control
+//! (not in the paper) is included as the no-tree ablation.
+
+use bench::{geometry_of, print_header, print_row, standard_dataset, MOLECULES};
+use pastri::{Compressor, CompressorOptions, EncodingTree};
+use qchem::basis::BfConfig;
+
+fn main() {
+    let eb = 1e-10;
+    println!("Fig. 7 reproduction — compression ratio by encoding tree (EB = {eb:.0e})\n");
+    let trees = [
+        EncodingTree::Tree1,
+        EncodingTree::Tree2,
+        EncodingTree::Tree3,
+        EncodingTree::Tree4,
+        EncodingTree::Tree5,
+        EncodingTree::FixedLength,
+    ];
+    let widths = [22usize, 8, 8, 8, 8, 8, 8];
+    print_header(
+        &["dataset", "Tree1", "Tree2", "Tree3", "Tree4", "Tree5", "Fixed"],
+        &widths,
+    );
+    let mut totals: Vec<(u64, u64)> = vec![(0, 0); trees.len()];
+    for mol in MOLECULES {
+        for config in [BfConfig::dd_dd(), BfConfig::ff_ff()] {
+            let ds = standard_dataset(mol, config);
+            let mut cells = vec![format!("{mol} {}", config.label())];
+            for (ti, tree) in trees.iter().enumerate() {
+                let compressor = Compressor::with_options(
+                    geometry_of(config),
+                    eb,
+                    CompressorOptions {
+                        tree: *tree,
+                        ..Default::default()
+                    },
+                );
+                let bytes = compressor.compress(&ds.values);
+                totals[ti].0 += (ds.values.len() * 8) as u64;
+                totals[ti].1 += bytes.len() as u64;
+                cells.push(format!(
+                    "{:.2}",
+                    (ds.values.len() * 8) as f64 / bytes.len() as f64
+                ));
+            }
+            print_row(&cells, &widths);
+        }
+    }
+    let overall: Vec<f64> = totals
+        .iter()
+        .map(|(o, c)| *o as f64 / *c as f64)
+        .collect();
+    let mut cells = vec!["OVERALL".to_string()];
+    cells.extend(overall.iter().map(|cr| format!("{cr:.2}")));
+    print_row(&cells, &widths);
+
+    println!("\npaper: Tree1 17.60 | Tree2 17.34 | Tree3 17.99 | Tree4 17.41 | Tree5 18.13");
+    println!(
+        "note: the five trees sit within ~4% of each other in the paper and here;\n\
+         the exact winner depends on the per-bin ECQ distribution of the dataset.\n\
+         The structural relations the paper argues from are checked below."
+    );
+    // The paper's argued relations:
+    //  - Tree2's greedy ±1 promotion loses to Tree3 ("occurrences of 1 are
+    //    not frequent enough"),
+    //  - Tree5 never does worse than Tree3 (it IS Tree3 plus a strictly
+    //    better code for EC_b,max = 2 blocks),
+    //  - every tree beats the fixed-length control.
+    let t = |i: usize| overall[i];
+    println!("Tree3 ≥ Tree2: {}", t(2) >= t(1) - 1e-9);
+    println!("Tree5 ≥ Tree3: {}", t(4) >= t(2) - 1e-9);
+    println!(
+        "all trees > fixed-length: {}",
+        (0..5).all(|i| t(i) > overall[5])
+    );
+    assert!(t(4) >= t(2) - 1e-9, "Tree5 must dominate Tree3 by construction");
+}

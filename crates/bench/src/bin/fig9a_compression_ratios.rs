@@ -1,0 +1,83 @@
+//! Fig. 9(a) — compression ratios: PaSTRI vs SZ vs ZFP.
+//!
+//! Paper: at EB = 1e-10, SZ reaches 7.24×, ZFP 5.92×, PaSTRI up to 16.8×
+//! (~2.5× better on average). Three molecules × {(dd|dd),(ff|ff)} ×
+//! EB ∈ {1e-11, 1e-10, 1e-9}. A lossless row (Gzip-like, FPC) backs the
+//! related-work claim of ~1.1–2×.
+
+use bench::{print_header, print_row, standard_dataset, Codec, ERROR_BOUNDS, MOLECULES};
+use qchem::basis::BfConfig;
+
+fn main() {
+    println!("Fig. 9(a) reproduction — compression ratios\n");
+    let widths = [9usize, 22, 8, 8, 8];
+    for &eb in ERROR_BOUNDS.iter() {
+        println!("EB = {eb:.0e}:");
+        print_header(&["", "dataset", "SZ", "ZFP", "PaSTRI"], &widths);
+        let mut sums = [(0u64, 0u64); 3];
+        for mol in MOLECULES {
+            for config in [BfConfig::dd_dd(), BfConfig::ff_ff()] {
+                let ds = standard_dataset(mol, config);
+                let mut cells = vec![String::new(), format!("{mol} {}", config.label())];
+                for (ci, codec) in Codec::ALL.iter().enumerate() {
+                    let bytes = codec.compress(&ds.values, config, eb);
+                    // Verify the error bound while we're here.
+                    let back = codec.decompress(&bytes);
+                    let max_err = ds
+                        .values
+                        .iter()
+                        .zip(&back)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max);
+                    assert!(
+                        max_err <= eb * (1.0 + 1e-12),
+                        "{} violated EB {eb:e}: {max_err:e}",
+                        codec.name()
+                    );
+                    sums[ci].0 += (ds.values.len() * 8) as u64;
+                    sums[ci].1 += bytes.len() as u64;
+                    cells.push(format!(
+                        "{:.2}",
+                        (ds.values.len() * 8) as f64 / bytes.len() as f64
+                    ));
+                }
+                print_row(&cells, &widths);
+            }
+        }
+        let avg: Vec<f64> = sums.iter().map(|(o, c)| *o as f64 / *c as f64).collect();
+        print_row(
+            &[
+                String::new(),
+                "AVERAGE".to_string(),
+                format!("{:.2}", avg[0]),
+                format!("{:.2}", avg[1]),
+                format!("{:.2}", avg[2]),
+            ],
+            &widths,
+        );
+        println!(
+            "  shape check: PaSTRI/SZ = {:.2}x, PaSTRI/ZFP = {:.2}x  (paper at 1e-10: 2.3x, 2.8x)\n",
+            avg[2] / avg[0],
+            avg[2] / avg[1]
+        );
+    }
+
+    // Related-work lossless row (Sec. II: "1.1~2 in most cases").
+    println!("lossless baselines (related-work claim):");
+    let widths = [22usize, 10, 10];
+    print_header(&["dataset", "gzip-like", "FPC"], &widths);
+    for mol in MOLECULES {
+        let ds = standard_dataset(mol, BfConfig::dd_dd());
+        let raw = (ds.values.len() * 8) as f64;
+        let gz = lossless::deflate_like::compress_doubles(&ds.values).len() as f64;
+        let fp = lossless::fpc::compress(&ds.values).len() as f64;
+        print_row(
+            &[
+                format!("{mol} (dd|dd)"),
+                format!("{:.2}", raw / gz),
+                format!("{:.2}", raw / fp),
+            ],
+            &widths,
+        );
+    }
+}

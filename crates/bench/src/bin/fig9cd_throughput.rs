@@ -1,0 +1,53 @@
+//! Fig. 9(c,d) — compression and decompression rates (MB/s).
+//!
+//! Paper (their Xeon E5-2695v4): compression PaSTRI > 660, ZFP 308.5,
+//! SZ 104.1; decompression PaSTRI > 1110, ZFP 260.5, SZ 148.6. Absolute
+//! numbers are hardware-dependent; the *ordering* (PaSTRI fastest on
+//! both, SZ slowest compression) is the reproduced claim.
+
+use bench::{print_header, print_row, standard_dataset, Codec, ERROR_BOUNDS, MOLECULES};
+use qchem::basis::BfConfig;
+
+fn main() {
+    println!("Fig. 9(c,d) reproduction — (de)compression rates in MB/s\n");
+    let widths = [9usize, 22, 14, 14, 14];
+    for &eb in ERROR_BOUNDS.iter() {
+        println!("EB = {eb:.0e}   (each cell: compress / decompress MB/s)");
+        print_header(&["", "dataset", "SZ", "ZFP", "PaSTRI"], &widths);
+        let mut agg = [[0.0f64; 2]; 3];
+        let mut n = 0u32;
+        for mol in MOLECULES {
+            for config in [BfConfig::dd_dd(), BfConfig::ff_ff()] {
+                let ds = standard_dataset(mol, config);
+                let mut cells = vec![String::new(), format!("{mol} {}", config.label())];
+                for (ci, codec) in Codec::ALL.iter().enumerate() {
+                    let p = codec.profile(&ds.values, config, eb);
+                    agg[ci][0] += p.compress_mbs;
+                    agg[ci][1] += p.decompress_mbs;
+                    cells.push(format!("{:.0}/{:.0}", p.compress_mbs, p.decompress_mbs));
+                }
+                n += 1;
+                print_row(&cells, &widths);
+            }
+        }
+        let avg = |x: f64| x / f64::from(n);
+        print_row(
+            &[
+                String::new(),
+                "AVERAGE".to_string(),
+                format!("{:.0}/{:.0}", avg(agg[0][0]), avg(agg[0][1])),
+                format!("{:.0}/{:.0}", avg(agg[1][0]), avg(agg[1][1])),
+                format!("{:.0}/{:.0}", avg(agg[2][0]), avg(agg[2][1])),
+            ],
+            &widths,
+        );
+        let ok_c = avg(agg[2][0]) > avg(agg[1][0]) && avg(agg[1][0]) > avg(agg[0][0]);
+        let ok_d = avg(agg[2][1]) > avg(agg[1][1]) && avg(agg[2][1]) > avg(agg[0][1]);
+        println!(
+            "  shape check: compression ordering PaSTRI > ZFP > SZ: {ok_c}; \
+             PaSTRI fastest decompression: {ok_d}\n"
+        );
+    }
+    println!("paper averages: compression PaSTRI 660 / ZFP 308.5 / SZ 104.1 MB/s;");
+    println!("                decompression PaSTRI 1110 / ZFP 260.5 / SZ 148.6 MB/s");
+}

@@ -1,0 +1,90 @@
+//! Sec. V-A hybrid-configuration claim — "In our experiments, we have
+//! also used d and f hybrid BF configurations ((df|fd), etc.) but we
+//! have reported only the pure configurations … Metrics for hybrid
+//! configurations follow very similar trends."
+//!
+//! This binary runs the hybrids the paper omitted and checks they indeed
+//! land in the range spanned by the pure `(dd|dd)` and `(ff|ff)` results
+//! (within a modest tolerance band).
+
+use bench::{print_header, print_row, standard_dataset, Codec};
+use qchem::basis::BfConfig;
+use qchem::dataset::{DatasetSpec, EriDataset};
+
+fn main() {
+    let eb = 1e-10;
+    let mol = "alanine";
+    println!("Sec. V-A reproduction — hybrid BF configurations (EB = {eb:.0e}, tri-alanine)\n");
+
+    let configs: Vec<(BfConfig, bool)> = vec![
+        (BfConfig::dd_dd(), false),
+        (BfConfig::ff_ff(), false),
+        (BfConfig::df_fd(), true),
+        (BfConfig::fd_ff(), true),
+        (BfConfig::parse("(dd|ff)").unwrap(), true),
+    ];
+
+    let widths = [10usize, 12, 8, 8, 8];
+    print_header(&["config", "block size", "SZ", "ZFP", "PaSTRI"], &widths);
+    let mut pure_pastri = Vec::new();
+    let mut hybrid_pastri = Vec::new();
+    for (config, hybrid) in &configs {
+        // Hybrids are not in the standard catalog; generate them directly
+        // (smaller block counts — the blocks are up to 6000 points).
+        let ds = if *hybrid {
+            EriDataset::generate(&DatasetSpec {
+                molecule: bench::benchmark_molecule(mol),
+                config: *config,
+                max_blocks: 48,
+                seed: xhybrid_seed(),
+            })
+        } else {
+            standard_dataset(mol, *config)
+        };
+        let raw = (ds.values.len() * 8) as f64;
+        let mut cells = vec![config.label(), format!("{}", config.block_size())];
+        let mut pastri_cr = 0.0;
+        for codec in Codec::ALL {
+            let bytes = codec.compress(&ds.values, *config, eb);
+            let cr = raw / bytes.len() as f64;
+            if codec == Codec::Pastri {
+                pastri_cr = cr;
+            }
+            cells.push(format!("{cr:.2}"));
+        }
+        print_row(&cells, &widths);
+        if *hybrid {
+            hybrid_pastri.push(pastri_cr);
+        } else {
+            pure_pastri.push(pastri_cr);
+        }
+    }
+
+    let lo = pure_pastri.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = pure_pastri.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\npure PaSTRI range: [{lo:.2}, {hi:.2}]; hybrids: {:?}",
+        hybrid_pastri
+            .iter()
+            .map(|c| format!("{c:.2}"))
+            .collect::<Vec<_>>()
+    );
+    // "Very similar trends": each hybrid within a generous band around
+    // the pure range (quartet populations differ per config).
+    for &h in &hybrid_pastri {
+        assert!(
+            h > lo * 0.6 && h < hi * 1.6,
+            "hybrid CR {h:.2} outside the similar-trend band [{:.2}, {:.2}]",
+            lo * 0.6,
+            hi * 1.6
+        );
+    }
+    println!("shape check: every hybrid falls in the similar-trend band — reproduced");
+}
+
+/// Stable seed for hybrid datasets (kept out of the cache key space of
+/// the standard catalog).
+#[allow(non_snake_case)]
+fn xhybrid_seed() -> u64 {
+    0x4479_b21d
+}

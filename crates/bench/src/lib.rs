@@ -1,0 +1,240 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every `fig*`/`tab*` binary in `src/bin/` regenerates one figure or
+//! table of the paper. This library provides the common pieces: the
+//! standard dataset catalog (three molecules × two BF configurations, as
+//! in Sec. V-A), dataset caching so repeated runs don't re-integrate,
+//! compressor profiling, and table formatting.
+//!
+//! Dataset sizing: the paper samples production GAMESS files "down to at
+//! least 2 GB". A 2 GB integral run is hours of single-core analytic
+//! integration, so the default harness scale is a few MB per dataset —
+//! enough for stable ratios — and every binary honours the
+//! `PASTRI_BENCH_SCALE` environment variable (a float multiplier on block
+//! counts) for larger runs.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use pastri::{BlockGeometry, Compressor};
+use pfs_sim::CompressorProfile;
+use qchem::basis::BfConfig;
+use qchem::dataset::{DatasetSpec, EriDataset};
+use qchem::molecule::Molecule;
+
+/// The paper's evaluation datasets (Sec. V-A): tri-alanine, benzene, and
+/// glutamine, each with `(dd|dd)` and `(ff|ff)` configurations.
+pub const MOLECULES: [&str; 3] = ["alanine", "benzene", "glutamine"];
+
+/// Error bounds used throughout the evaluation (Fig. 9).
+pub const ERROR_BOUNDS: [f64; 3] = [1e-11, 1e-10, 1e-9];
+
+/// Baseline block counts at scale 1.0.
+pub const DD_BLOCKS: usize = 400;
+pub const FF_BLOCKS: usize = 48;
+
+/// Cluster parameters representing the production-scale quartet
+/// population (see DESIGN.md §2): four monomer images at 4.5 Å.
+pub const CLUSTER_COPIES: usize = 4;
+pub const CLUSTER_SPACING: f64 = 4.5;
+
+/// Scale multiplier from `PASTRI_BENCH_SCALE` (default 1.0).
+#[must_use]
+pub fn bench_scale() -> f64 {
+    std::env::var("PASTRI_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// The benchmark form of a molecule: a small van-der-Waals cluster.
+#[must_use]
+pub fn benchmark_molecule(name: &str) -> Molecule {
+    Molecule::by_name(name)
+        .unwrap_or_else(|| panic!("unknown molecule {name}"))
+        .cluster(CLUSTER_COPIES, CLUSTER_SPACING)
+}
+
+/// Generates (or loads from the on-disk cache) one standard dataset.
+#[must_use]
+pub fn standard_dataset(molecule: &str, config: BfConfig) -> EriDataset {
+    let blocks = ((if config == BfConfig::ff_ff() {
+        FF_BLOCKS
+    } else {
+        DD_BLOCKS
+    }) as f64
+        * bench_scale())
+    .max(4.0) as usize;
+    let key = format!(
+        "{molecule}-{}-{blocks}-c{CLUSTER_COPIES}",
+        config.label().replace(['(', ')', '|'], "")
+    );
+    if let Some(values) = cache_read(&key) {
+        return EriDataset {
+            config,
+            values,
+            label: format!("{molecule} {} analytic [cached]", config.label()),
+        };
+    }
+    let spec = DatasetSpec {
+        molecule: benchmark_molecule(molecule),
+        config,
+        max_blocks: blocks,
+        seed: 0x5eed + molecule.len() as u64,
+    };
+    let ds = EriDataset::generate(&spec);
+    cache_write(&key, &ds.values);
+    ds
+}
+
+fn cache_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pastri-bench-cache");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+fn cache_read(key: &str) -> Option<Vec<f64>> {
+    let path = cache_dir().join(format!("{key}.f64"));
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() % 8 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
+fn cache_write(key: &str, values: &[f64]) {
+    let path = cache_dir().join(format!("{key}.f64"));
+    if let Ok(mut f) = std::fs::File::create(path) {
+        for v in values {
+            let _ = f.write_all(&v.to_le_bytes());
+        }
+    }
+}
+
+/// A dataset paired with its PaSTRI block geometry.
+#[must_use]
+pub fn geometry_of(config: BfConfig) -> BlockGeometry {
+    BlockGeometry::from_dims(config.dims())
+}
+
+/// Which compressor to profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    Pastri,
+    Sz,
+    Zfp,
+}
+
+impl Codec {
+    pub const ALL: [Codec; 3] = [Codec::Sz, Codec::Zfp, Codec::Pastri];
+
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Pastri => "PaSTRI",
+            Codec::Sz => "SZ",
+            Codec::Zfp => "ZFP",
+        }
+    }
+
+    /// Compress; returns the container bytes.
+    #[must_use]
+    pub fn compress(&self, data: &[f64], config: BfConfig, eb: f64) -> Vec<u8> {
+        match self {
+            Codec::Pastri => Compressor::new(geometry_of(config), eb).compress(data),
+            Codec::Sz => sz_lossy::SzCompressor::new(eb).compress(data),
+            Codec::Zfp => zfp_lossy::ZfpCompressor::new(eb).compress(data),
+        }
+    }
+
+    /// Decompress container bytes.
+    #[must_use]
+    pub fn decompress(&self, bytes: &[u8]) -> Vec<f64> {
+        match self {
+            Codec::Pastri => pastri::decompress(bytes).expect("pastri decompress"),
+            Codec::Sz => sz_lossy::decompress(bytes).expect("sz decompress"),
+            Codec::Zfp => zfp_lossy::decompress(bytes).expect("zfp decompress"),
+        }
+    }
+
+    /// Measures ratio and single-core throughputs on `data`.
+    #[must_use]
+    pub fn profile(&self, data: &[f64], config: BfConfig, eb: f64) -> CompressorProfile {
+        let mb = (data.len() * 8) as f64 / 1e6;
+        let t = Instant::now();
+        let compressed = self.compress(data, config, eb);
+        let compress_mbs = mb / t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let back = self.decompress(&compressed);
+        let decompress_mbs = mb / t.elapsed().as_secs_f64();
+        assert_eq!(back.len(), data.len());
+        CompressorProfile {
+            name: self.name().to_string(),
+            ratio: (data.len() * 8) as f64 / compressed.len() as f64,
+            compress_mbs,
+            decompress_mbs,
+        }
+    }
+}
+
+/// Prints a labelled markdown-style table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("| {} |", row.join(" | "));
+}
+
+/// Prints a table header with separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(
+        &cells.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roundtrip_smoke() {
+        let config = BfConfig::dd_dd();
+        let ds = EriDataset::generate_model(config, 4, 3);
+        for codec in Codec::ALL {
+            let bytes = codec.compress(&ds.values, config, 1e-10);
+            let back = codec.decompress(&bytes);
+            assert_eq!(back.len(), ds.values.len(), "{}", codec.name());
+            for (a, b) in ds.values.iter().zip(&back) {
+                assert!((a - b).abs() <= 1e-10, "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn profile_has_sane_fields() {
+        let config = BfConfig::dd_dd();
+        let ds = EriDataset::generate_model(config, 8, 9);
+        let p = Codec::Pastri.profile(&ds.values, config, 1e-10);
+        assert!(p.ratio > 1.0);
+        assert!(p.compress_mbs > 0.0);
+        assert!(p.decompress_mbs > 0.0);
+    }
+
+    #[test]
+    fn bench_scale_default() {
+        // Unless the env var is set in the test environment, default 1.0.
+        if std::env::var("PASTRI_BENCH_SCALE").is_err() {
+            assert_eq!(bench_scale(), 1.0);
+        }
+    }
+}

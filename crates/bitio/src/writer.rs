@@ -1,0 +1,174 @@
+/// Append-only MSB-first bit sink backed by a `Vec<u8>`.
+///
+/// Writes are buffered in a 64-bit accumulator and flushed to the byte
+/// vector whole bytes at a time, which keeps the per-bit cost low in the
+/// hot encoding loops of the compressors.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bit accumulator; pending bits live in the *low* `pending` bits.
+    acc: u64,
+    /// Number of valid bits in `acc` (always < 8 after `flush_acc`).
+    pending: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bytes` output bytes.
+    #[must_use]
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            acc: 0,
+            pending: 0,
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | u64::from(bit);
+        self.pending += 1;
+        if self.pending == 8 {
+            self.flush_acc();
+        }
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// `width` must be ≤ 64. Bits of `value` above `width` are ignored.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        if width == 0 {
+            return;
+        }
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        // Split so that acc never holds more than 64 bits.
+        let room = 64 - self.pending;
+        if width <= room {
+            self.acc = if width == 64 { value } else { (self.acc << width) | value };
+            self.pending += width;
+        } else {
+            let hi = width - room;
+            self.acc = (self.acc << room) | (value >> hi);
+            self.pending = 64;
+            self.drain_acc();
+            self.acc = value & ((1u64 << hi) - 1);
+            self.pending = hi;
+        }
+        self.drain_acc();
+    }
+
+    /// Appends `value` as a two's-complement field of `width` bits.
+    ///
+    /// The caller must ensure the value fits, i.e.
+    /// `bitio::signed_width(value) <= width` (checked in debug builds).
+    #[inline]
+    pub fn write_signed(&mut self, value: i64, width: u32) {
+        debug_assert!((1..=64).contains(&width));
+        debug_assert!(
+            crate::signed_width(value) <= width,
+            "value {value} does not fit in {width} signed bits"
+        );
+        self.write_bits(value as u64, width);
+    }
+
+    /// Pads with zero bits to the next byte boundary (no-op if aligned).
+    pub fn align_to_byte(&mut self) {
+        let rem = self.pending % 8;
+        if rem != 0 {
+            self.write_bits(0, 8 - rem);
+        }
+        self.drain_acc();
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + u64::from(self.pending)
+    }
+
+    /// Finalizes the stream, zero-padding the final partial byte.
+    #[must_use]
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.bytes
+    }
+
+    /// Flush whole bytes out of the accumulator.
+    #[inline]
+    fn drain_acc(&mut self) {
+        while self.pending >= 8 {
+            self.flush_acc_byte();
+        }
+    }
+
+    #[inline]
+    fn flush_acc(&mut self) {
+        self.flush_acc_byte();
+    }
+
+    #[inline]
+    fn flush_acc_byte(&mut self) {
+        debug_assert!(self.pending >= 8);
+        let shift = self.pending - 8;
+        let byte = if shift == 64 { 0 } else { (self.acc >> shift) as u8 };
+        self.bytes.push(byte);
+        self.pending -= 8;
+        // Mask off the emitted bits so acc stays canonical.
+        if self.pending == 0 {
+            self.acc = 0;
+        } else {
+            self.acc &= (1u64 << self.pending) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer_is_empty() {
+        assert!(BitWriter::new().into_bytes().is_empty());
+    }
+
+    #[test]
+    fn bit_len_counts_pending_bits() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bits(0, 14);
+        assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn long_field_spanning_accumulator() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(u64::MAX, 64); // forces the split path
+        w.write_bits(0, 7);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes[0], 0b1111_1111);
+        assert_eq!(bytes[8], 0b1000_0000);
+    }
+
+    #[test]
+    fn partial_final_byte_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        assert_eq!(w.into_bytes(), vec![0b1100_0000]);
+    }
+}

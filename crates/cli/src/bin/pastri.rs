@@ -1,0 +1,10 @@
+//! The `pastri` command-line tool. See `pastri help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = pastri_cli::run(&argv, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,384 @@
+//! Subcommand implementations.
+
+use std::fs;
+use std::io::Write;
+
+use pastri::{BlockGeometry, Compressor, CompressorOptions, EncodingTree, ScalingMetric};
+use qchem::basis::BfConfig;
+use qchem::dataset::{DatasetSpec, EriDataset};
+use qchem::molecule::Molecule;
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Reads a raw little-endian f64 file.
+fn read_f64_file(path: &str) -> Result<Vec<f64>, CliError> {
+    let bytes = fs::read(path).map_err(|e| CliError::new(format!("reading {path}: {e}")))?;
+    if bytes.len() % 8 != 0 {
+        return Err(CliError::new(format!(
+            "{path}: length {} is not a multiple of 8 (expected raw f64)",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Writes a raw little-endian f64 file.
+fn write_f64_file(path: &str, values: &[f64]) -> Result<(), CliError> {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fs::write(path, bytes).map_err(|e| CliError::new(format!("writing {path}: {e}")))
+}
+
+fn parse_config(args: &Args) -> Result<BfConfig, CliError> {
+    let raw = args
+        .get("config")
+        .ok_or_else(|| CliError::new("--config is required (e.g. --config '(dd|dd)')"))?;
+    BfConfig::parse(raw)
+        .ok_or_else(|| CliError::new(format!("--config: `{raw}` is not a BF configuration")))
+}
+
+fn parse_options(args: &Args) -> Result<CompressorOptions, CliError> {
+    let metric = match args.get("metric").unwrap_or("ER").to_ascii_uppercase().as_str() {
+        "FR" => ScalingMetric::Fr,
+        "ER" => ScalingMetric::Er,
+        "AR" => ScalingMetric::Ar,
+        "AAR" => ScalingMetric::Aar,
+        "IS" => ScalingMetric::Is,
+        other => return Err(CliError::new(format!("--metric: unknown metric `{other}`"))),
+    };
+    let tree = match args.get("tree").unwrap_or("5") {
+        "1" => EncodingTree::Tree1,
+        "2" => EncodingTree::Tree2,
+        "3" => EncodingTree::Tree3,
+        "4" => EncodingTree::Tree4,
+        "5" => EncodingTree::Tree5,
+        "fixed" => EncodingTree::FixedLength,
+        other => return Err(CliError::new(format!("--tree: unknown tree `{other}`"))),
+    };
+    Ok(CompressorOptions {
+        metric,
+        tree,
+        ..Default::default()
+    })
+}
+
+/// `pastri compress <in.f64> <out.pastri> --config ... [--eb ...]`.
+pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "in.f64")?;
+    let output = args.positional(1, "out.pastri")?;
+    let config = parse_config(&args)?;
+    let eb = args.get_f64("eb", 1e-10)?;
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(CliError::new("--eb must be finite and > 0"));
+    }
+    let compressor = Compressor::with_options(
+        BlockGeometry::from_dims(config.dims()),
+        eb,
+        parse_options(&args)?,
+    );
+    if args.switch("stream") {
+        // Bounded-memory path: read/compress/write segment by segment.
+        let segment_blocks = args.get_usize("segment-blocks", 64)?.max(1);
+        let infile = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+        let outfile =
+            fs::File::create(output).map_err(|e| CliError::new(format!("{output}: {e}")))?;
+        let mut writer = pastri::stream::StreamWriter::new(
+            std::io::BufWriter::new(outfile),
+            compressor,
+            segment_blocks,
+        );
+        let mut reader = std::io::BufReader::new(infile);
+        let mut buf = vec![0u8; config.block_size() * 8];
+        let mut total_in = 0u64;
+        loop {
+            let n = read_chunk(&mut reader, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            if n % 8 != 0 {
+                return Err(CliError::new(format!(
+                    "{input}: length is not a multiple of 8 (raw f64 expected)"
+                )));
+            }
+            let values: Vec<f64> = buf[..n]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            total_in += n as u64;
+            writer.write_values(&values)?;
+        }
+        writer.finish()?;
+        let out_len = fs::metadata(output)?.len();
+        writeln!(
+            out,
+            "{input} -> {output} (streamed): {total_in} -> {out_len} bytes (ratio {:.2}x, EB {eb:.1e})",
+            total_in as f64 / out_len as f64
+        )?;
+        return Ok(());
+    }
+    let data = read_f64_file(input)?;
+    let (bytes, stats) = compressor.compress_with_stats(&data);
+    fs::write(output, &bytes).map_err(|e| CliError::new(format!("writing {output}: {e}")))?;
+    writeln!(
+        out,
+        "{} -> {}: {} -> {} bytes (ratio {:.2}x, {:.2} bits/value, EB {:.1e})",
+        input,
+        output,
+        data.len() * 8,
+        bytes.len(),
+        stats.compression_ratio(),
+        stats.bitrate(),
+        eb
+    )?;
+    Ok(())
+}
+
+/// Fills `buf` as far as possible; returns bytes read (0 at EOF).
+fn read_chunk(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<usize, CliError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r
+            .read(&mut buf[filled..])
+            .map_err(|e| CliError::new(format!("read error: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+/// `pastri decompress <in.pastri> <out.f64>`.
+pub fn decompress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "in.pastri")?;
+    let output = args.positional(1, "out.f64")?;
+    let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
+    // Auto-detect the streamed ("PSTRS") vs single-container ("PSTR")
+    // format by magic.
+    let values = if bytes.starts_with(b"PSTRS") {
+        pastri::stream::StreamReader::new(bytes.as_slice())
+            .and_then(pastri::stream::StreamReader::read_to_vec)
+            .map_err(|e| CliError::new(format!("{input}: {e}")))?
+    } else {
+        pastri::decompress(&bytes).map_err(|e| CliError::new(format!("{input}: {e}")))?
+    };
+    write_f64_file(output, &values)?;
+    writeln!(
+        out,
+        "{} -> {}: {} values ({} bytes)",
+        input,
+        output,
+        values.len(),
+        values.len() * 8
+    )?;
+    Ok(())
+}
+
+/// `pastri inspect <in.pastri>`: header metadata + per-kind block census
+/// via the cheap O(blocks) inspection API — no value is decoded.
+pub fn inspect(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "in.pastri")?;
+    let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
+    let info = pastri::inspect(&bytes).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    writeln!(
+        out,
+        "{input}: valid PaSTRI container, {} bytes, {} values ({:.2}x vs raw)",
+        info.container_bytes,
+        info.original_len,
+        info.compression_ratio()
+    )?;
+    writeln!(
+        out,
+        "  error bound {:.1e}, geometry {}x{} ({} points/block), {} blocks, tree {}",
+        info.error_bound,
+        info.geometry.num_subblocks,
+        info.geometry.subblock_size,
+        info.geometry.block_size(),
+        info.num_blocks,
+        info.tree.name()
+    )?;
+    let kinds = ["all-zero", "pattern-only", "dense", "sparse", "verbatim"];
+    let census: Vec<String> = kinds
+        .iter()
+        .zip(info.kind_counts.iter())
+        .filter(|(_, &c)| c > 0)
+        .map(|(k, c)| format!("{k} {c}"))
+        .collect();
+    writeln!(out, "  blocks: {}", census.join(", "))?;
+    Ok(())
+}
+
+/// `pastri gen <out.f64> --molecule benzene --config (dd|dd) ...`.
+pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let output = args.positional(0, "out.f64")?;
+    let config = parse_config(&args)?;
+    let blocks = args.get_usize("blocks", 100)?;
+    let seed = args.get_usize("seed", 0)? as u64;
+    let ds = if args.switch("model") {
+        EriDataset::generate_model(config, blocks, seed)
+    } else {
+        let mol_name = args.get("molecule").unwrap_or("benzene");
+        let molecule = Molecule::by_name(mol_name)
+            .ok_or_else(|| CliError::new(format!("--molecule: unknown molecule `{mol_name}`")))?;
+        let copies = args.get_usize("cluster", 1)?;
+        EriDataset::generate(&DatasetSpec {
+            molecule: molecule.cluster(copies.max(1), 4.5),
+            config,
+            max_blocks: blocks,
+            seed,
+        })
+    };
+    write_f64_file(output, &ds.values)?;
+    writeln!(
+        out,
+        "{output}: {} — {} blocks of {} values ({} bytes)",
+        ds.label,
+        ds.num_blocks(),
+        config.block_size(),
+        ds.byte_size()
+    )?;
+    Ok(())
+}
+
+/// `pastri assess <original.f64> <decompressed.f64>`.
+pub fn assess(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let orig_path = args.positional(0, "original.f64")?;
+    let dec_path = args.positional(1, "decompressed.f64")?;
+    let orig = read_f64_file(orig_path)?;
+    let dec = read_f64_file(dec_path)?;
+    if orig.len() != dec.len() {
+        return Err(CliError::new(format!(
+            "length mismatch: {} has {} values, {} has {}",
+            orig_path,
+            orig.len(),
+            dec_path,
+            dec.len()
+        )));
+    }
+    let a = zcheck::assess(&orig, &dec, 0);
+    writeln!(
+        out,
+        "n = {}, max abs err = {:.3e}, MSE = {:.3e}, PSNR = {:.1} dB, value range = {:.3e}",
+        a.n, a.max_abs_err, a.mse, a.psnr, a.value_range
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pastri-cli-test-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        dir
+    }
+
+    fn sv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn gen_compress_decompress_assess_cycle() {
+        let dir = tmpdir();
+        let raw = dir.join("data.f64").to_string_lossy().into_owned();
+        let comp = dir.join("data.pastri").to_string_lossy().into_owned();
+        let back = dir.join("back.f64").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "5", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(
+            &sv(&[&raw, &comp, "--config", "(dd|dd)", "--eb", "1e-10"]),
+            &mut out,
+        )
+        .unwrap();
+        decompress(&sv(&[&comp, &back]), &mut out).unwrap();
+        assess(&sv(&[&raw, &back]), &mut out).unwrap();
+        inspect(&sv(&[&comp]), &mut out).unwrap();
+
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ratio"), "{text}");
+        assert!(text.contains("max abs err"), "{text}");
+        assert!(text.contains("valid PaSTRI container"), "{text}");
+
+        // The round trip respects the bound.
+        let orig = read_f64_file(&raw).unwrap();
+        let dec = read_f64_file(&back).unwrap();
+        for (a, b) in orig.iter().zip(&dec) {
+            assert!((a - b).abs() <= 1e-10);
+        }
+    }
+
+    #[test]
+    fn streamed_compress_roundtrips() {
+        let dir = tmpdir();
+        let raw = dir.join("s.f64").to_string_lossy().into_owned();
+        let comp = dir.join("s.pstrs").to_string_lossy().into_owned();
+        let back = dir.join("s-back.f64").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "9", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(
+            &sv(&[
+                &raw, &comp, "--config", "dddd", "--stream", "--segment-blocks", "4",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        decompress(&sv(&[&comp, &back]), &mut out).unwrap();
+        let orig = read_f64_file(&raw).unwrap();
+        let dec = read_f64_file(&back).unwrap();
+        assert_eq!(orig.len(), dec.len());
+        for (a, b) in orig.iter().zip(&dec) {
+            assert!((a - b).abs() <= 1e-10);
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("streamed"), "{text}");
+    }
+
+    #[test]
+    fn missing_config_is_friendly() {
+        let dir = tmpdir();
+        let raw = dir.join("x.f64").to_string_lossy().into_owned();
+        fs::write(&raw, [0u8; 16]).unwrap();
+        let err = compress(&sv(&[&raw, "out.pastri"]), &mut Vec::new()).unwrap_err();
+        assert!(err.message.contains("--config"));
+    }
+
+    #[test]
+    fn bad_f64_file_rejected() {
+        let dir = tmpdir();
+        let raw = dir.join("bad.f64").to_string_lossy().into_owned();
+        fs::write(&raw, [1u8; 13]).unwrap();
+        let err = read_f64_file(&raw).unwrap_err();
+        assert!(err.message.contains("multiple of 8"));
+    }
+
+    #[test]
+    fn metric_and_tree_flags() {
+        let args = Args::parse(&sv(&["--metric", "aar", "--tree", "3"])).unwrap();
+        let opts = parse_options(&args).unwrap();
+        assert_eq!(opts.metric, ScalingMetric::Aar);
+        assert_eq!(opts.tree, EncodingTree::Tree3);
+        let args = Args::parse(&sv(&["--metric", "nope"])).unwrap();
+        assert!(parse_options(&args).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Library backing the `pastri` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `compress`   — raw little-endian f64 file → PaSTRI container
+//! * `decompress` — PaSTRI container → raw f64 file
+//! * `inspect`    — print container metadata and per-block-kind census
+//! * `gen`        — generate an ERI dataset file (GAMESS stand-in)
+//! * `assess`     — compare an original and a decompressed file
+//!
+//! The argument parser is deliberately dependency-free: flags are
+//! `--key value` pairs after the subcommand, positional paths first.
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    pub message: String,
+}
+
+impl CliError {
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(format!("I/O error: {e}"))
+    }
+}
+
+/// Entry point shared by the binary and the tests: parses `argv` (without
+/// the program name) and executes. Output goes to `out`.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(CliError::new(usage()));
+    };
+    match cmd.as_str() {
+        "compress" => commands::compress(rest, out),
+        "decompress" => commands::decompress(rest, out),
+        "inspect" => commands::inspect(rest, out),
+        "gen" => commands::generate(rest, out),
+        "assess" => commands::assess(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", usage())?;
+            Ok(())
+        }
+        other => Err(CliError::new(format!(
+            "unknown subcommand `{other}`\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "pastri — error-bounded lossy compression for two-electron integrals
+
+USAGE:
+  pastri compress   <in.f64> <out.pastri> --config (dd|dd) --eb 1e-10
+                    [--metric ER] [--tree 5] [--stream [--segment-blocks 64]]
+  pastri decompress <in.pastri> <out.f64>
+  pastri inspect    <in.pastri>
+  pastri gen        <out.f64> --molecule benzene --config (dd|dd)
+                    [--blocks 100] [--seed 0] [--cluster 1] [--model]
+  pastri assess     <original.f64> <decompressed.f64>
+
+FLAGS:
+  --config   BF configuration, e.g. '(dd|dd)', '(ff|ff)', 'fdff'
+  --eb       absolute error bound (default 1e-10)
+  --metric   FR | ER | AR | AAR | IS        (default ER)
+  --tree     1..5 or 'fixed'                (default 5)
+  --molecule benzene | glutamine | alanine
+  --cluster  tile N copies at 4.5 A (production-scale far-field mix)
+  --model    use the fast Eq.-3 far-field model generator"
+}

@@ -1,0 +1,49 @@
+//! Entropy and dictionary coding substrates.
+//!
+//! These are the general-purpose coding blocks the baseline compressors are
+//! built from:
+//!
+//! * [`huffman`] — canonical Huffman coding over `u32` symbol alphabets,
+//!   used by the SZ-style baseline to entropy-code quantization codes and by
+//!   the DEFLATE-like lossless codec.
+//! * [`lzss`] — byte-oriented LZSS (sliding-window dictionary) used by the
+//!   lossless baseline.
+//! * [`varint`] — LEB128-style variable-length integers, used in container
+//!   headers.
+//! * [`rle`] — run-length coding for long zero runs.
+//!
+//! PaSTRI itself deliberately does *not* use Huffman coding (Sec. IV-C of
+//! the paper explains why: dictionary cost, huge sparse alphabets, and the
+//! serialization it would force). These codecs exist so that the SZ and
+//! DEFLATE baselines are real implementations rather than stubs.
+
+pub mod huffman;
+pub mod lzss;
+pub mod rle;
+pub mod varint;
+
+/// Errors shared by the codecs in this crate.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The compressed stream ended prematurely or contains an invalid code.
+    Corrupt(&'static str),
+    /// Bit-level read failure.
+    BitRead(bitio::ReadError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+            CodecError::BitRead(e) => write!(f, "bit read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<bitio::ReadError> for CodecError {
+    fn from(e: bitio::ReadError) -> Self {
+        CodecError::BitRead(e)
+    }
+}

@@ -1,0 +1,191 @@
+//! Byte-oriented LZSS with a hash-chained sliding window.
+//!
+//! This is the dictionary stage of the DEFLATE-like lossless baseline.
+//! Matches are emitted as `(distance, length)` pairs, literals as raw
+//! bytes; a one-bit flag distinguishes them. The output token stream is
+//! then entropy-coded by the caller (see `lossless::deflate_like`).
+
+use crate::CodecError;
+
+/// Minimum match length worth a token (below this, literals are cheaper).
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (fits the token length field).
+pub const MAX_MATCH: usize = 258;
+/// Sliding window size (32 KiB, as in DEFLATE).
+pub const WINDOW: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Max chain walk per position: caps worst-case compression time.
+const MAX_CHAIN: usize = 64;
+
+/// One LZSS token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A raw byte.
+    Literal(u8),
+    /// Copy `len` bytes from `dist` bytes back.
+    Match { dist: u32, len: u32 },
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = u32::from(data[i])
+        .wrapping_mul(0x9e37)
+        .wrapping_add(u32::from(data[i + 1]).wrapping_mul(0x79b9))
+        .wrapping_add(u32::from(data[i + 2]));
+    (h.wrapping_mul(0x85eb_ca6b) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy-parse `data` into LZSS tokens.
+#[must_use]
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == limit {
+                        break;
+                    }
+                }
+                let next = prev[cand % WINDOW];
+                // Chains can alias across window wraps; guard monotonicity.
+                if next >= cand {
+                    break;
+                }
+                cand = next;
+                chain += 1;
+            }
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                dist: best_dist as u32,
+                len: best_len as u32,
+            });
+            // Insert hashes for skipped positions so later matches see them.
+            for k in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
+                let h = hash3(data, k);
+                prev[k % WINDOW] = head[h];
+                head[h] = k;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expands tokens back into bytes.
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CodecError::Corrupt("lzss match distance out of range"));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are legal (run encoding), so byte-wise.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let tokens = tokenize(data);
+        let back = detokenize(&tokens).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc";
+        let tokens = tokenize(data);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        roundtrip(data);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        let data = vec![0x55u8; 1000];
+        let tokens = tokenize(&data);
+        // A run should need very few tokens.
+        assert!(tokens.len() < 20, "tokens={}", tokens.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        // Simple xorshift noise.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        let tokens = [Token::Match { dist: 5, len: 3 }];
+        assert!(detokenize(&tokens).is_err());
+    }
+
+    #[test]
+    fn long_input_exceeding_window() {
+        let mut data = Vec::new();
+        for i in 0..(WINDOW * 2 + 1234) {
+            data.push((i % 251) as u8);
+        }
+        roundtrip(&data);
+    }
+}

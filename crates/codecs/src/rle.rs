@@ -1,0 +1,84 @@
+//! Zero-run-length coding for sparse integer streams.
+//!
+//! Encodes a `&[i64]` as alternating (zero-run-length, nonzero-value)
+//! varint records. Used where long zero runs dominate (e.g. quantized
+//! error-correction streams in ablation experiments).
+
+use crate::varint;
+use crate::CodecError;
+
+/// Encodes `values` into `out`.
+pub fn encode(values: &[i64], out: &mut Vec<u8>) {
+    varint::write_u64(out, values.len() as u64);
+    let mut i = 0;
+    while i < values.len() {
+        let run_start = i;
+        while i < values.len() && values[i] == 0 {
+            i += 1;
+        }
+        varint::write_u64(out, (i - run_start) as u64);
+        if i < values.len() {
+            varint::write_i64(out, values[i]);
+            i += 1;
+        }
+    }
+}
+
+/// Decodes a stream produced by [`encode`].
+pub fn decode(input: &[u8], pos: &mut usize) -> Result<Vec<i64>, CodecError> {
+    let n = varint::read_u64(input, pos).ok_or(CodecError::Corrupt("rle header"))? as usize;
+    if n > (1 << 34) {
+        return Err(CodecError::Corrupt("rle output implausibly large"));
+    }
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    while out.len() < n {
+        let run = varint::read_u64(input, pos).ok_or(CodecError::Corrupt("rle run"))? as usize;
+        if out.len() + run > n {
+            return Err(CodecError::Corrupt("rle run overflows length"));
+        }
+        out.resize(out.len() + run, 0);
+        if out.len() < n {
+            let v = varint::read_i64(input, pos).ok_or(CodecError::Corrupt("rle value"))?;
+            out.push(v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i64]) {
+        let mut buf = Vec::new();
+        encode(values, &mut buf);
+        let mut pos = 0;
+        let back = decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn basic_cases() {
+        roundtrip(&[]);
+        roundtrip(&[0, 0, 0, 0]);
+        roundtrip(&[1, 2, 3]);
+        roundtrip(&[0, 0, 5, 0, -7, 0, 0, 0, 1]);
+        roundtrip(&[i64::MAX, i64::MIN, 0]);
+    }
+
+    #[test]
+    fn sparse_stream_is_small() {
+        let mut values = vec![0i64; 10_000];
+        values[137] = 42;
+        values[9_999] = -1;
+        let mut buf = Vec::new();
+        encode(&values, &mut buf);
+        assert!(buf.len() < 20, "len={}", buf.len());
+    }
+
+    #[test]
+    fn trailing_zero_run() {
+        roundtrip(&[7, 0, 0, 0, 0, 0]);
+    }
+}

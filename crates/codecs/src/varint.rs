@@ -1,0 +1,101 @@
+//! LEB128-style unsigned variable-length integers.
+//!
+//! Seven payload bits per byte, little-endian groups, high bit = "more".
+//! Used for container headers and Huffman table serialization.
+
+/// Appends `v` to `out` in LEB128 form (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 value from `input` at `*pos`, advancing `*pos`.
+/// Returns `None` on truncation or overlong (>10 byte) encodings.
+#[must_use]
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// ZigZag-maps a signed value so small magnitudes stay small, then LEB128s.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Inverse of [`write_i64`].
+#[must_use]
+pub fn read_i64(input: &[u8], pos: &mut usize) -> Option<i64> {
+    let z = read_u64(input, pos)?;
+    Some(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representative_values() {
+        for &v in &[0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for &v in &[0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn small_values_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf[..buf.len() - 1], &mut pos), None);
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        // Eleven continuation bytes can't be a valid u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: every codec round-trips arbitrary inputs exactly.
+
+use codecs::{huffman, lzss, rle, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varint_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_u64(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_i64(&buf, &mut pos), Some(v));
+    }
+
+    #[test]
+    fn huffman_roundtrip(symbols in proptest::collection::vec(0u32..64, 0..2000)) {
+        let enc = huffman::encode_stream(&symbols, 64);
+        let (dec, used) = huffman::decode_stream(&enc).unwrap();
+        prop_assert_eq!(dec, symbols);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn huffman_never_beats_entropy_floor(
+        symbols in proptest::collection::vec(0u32..16, 100..1000)
+    ) {
+        // Shannon lower bound on payload bits (table overhead excluded).
+        let mut freqs = [0u64; 16];
+        for &s in &symbols { freqs[s as usize] += 1; }
+        let n = symbols.len() as f64;
+        let entropy_bits: f64 = freqs.iter().filter(|&&f| f > 0).map(|&f| {
+            let p = f as f64 / n;
+            -(p.log2()) * f as f64
+        }).sum();
+        let code = huffman::HuffmanCode::from_frequencies(&freqs).unwrap();
+        let coded_bits: u64 = symbols.iter()
+            .map(|&s| u64::from(code.symbol_cost(s as usize).unwrap()))
+            .sum();
+        // Optimal prefix code is within 1 bit/symbol of entropy, and never below it
+        // (up to the 1-bit minimum per symbol).
+        prop_assert!((coded_bits as f64) + 1e-6 >= entropy_bits.floor());
+        prop_assert!((coded_bits as f64) <= entropy_bits + n + 1.0);
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let tokens = lzss::tokenize(&data);
+        let back = lzss::detokenize(&tokens).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn lzss_roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..8192)) {
+        let tokens = lzss::tokenize(&data);
+        let back = lzss::detokenize(&tokens).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn rle_roundtrip(values in proptest::collection::vec(-100i64..100, 0..2000)) {
+        let mut buf = Vec::new();
+        rle::encode(&values, &mut buf);
+        let mut pos = 0;
+        let back = rle::decode(&buf, &mut pos).unwrap();
+        prop_assert_eq!(back, values);
+    }
+}

@@ -1,0 +1,339 @@
+//! Disk-backed, PaSTRI-compressed ERI block store with per-block random
+//! access.
+//!
+//! This is the storage infrastructure the paper proposes around the
+//! compressor (Sec. III: store compressed ERIs on disk — or in memory —
+//! instead of recomputing them every SCF iteration). Each shell-quartet
+//! block is compressed independently (PaSTRI's "block-level scope"), so a
+//! consumer can fetch exactly the quartets it needs without touching the
+//! rest of the file — the access pattern of integral-direct Fock builds.
+//!
+//! File layout:
+//!
+//! ```text
+//! magic            8 bytes  "ERISTOR1"
+//! error bound      8 bytes  f64 LE
+//! num_subblocks    8 bytes  u64 LE
+//! subblock_size    8 bytes  u64 LE
+//! num_blocks       8 bytes  u64 LE
+//! index offset     8 bytes  u64 LE  (absolute file offset of the index)
+//! blocks           num_blocks × PaSTRI containers, back to back
+//! index            num_blocks × (offset u64 LE, length u64 LE)
+//! ```
+//!
+//! The index is written last (after all blocks), so a writer streams
+//! blocks without knowing their sizes in advance; the fixed-size header
+//! slot for the index offset is patched on close.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use pastri::{BlockGeometry, Compressor};
+
+const MAGIC: [u8; 8] = *b"ERISTOR1";
+const HEADER_LEN: u64 = 8 + 8 + 8 + 8 + 8 + 8;
+
+/// Errors from the block store.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    Corrupt(&'static str),
+    Decompress(pastri::DecompressError),
+    /// Requested block index ≥ number of blocks.
+    OutOfRange { index: usize, blocks: usize },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            StoreError::Decompress(e) => write!(f, "decompress error: {e}"),
+            StoreError::OutOfRange { index, blocks } => {
+                write!(f, "block {index} out of range (store has {blocks})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<pastri::DecompressError> for StoreError {
+    fn from(e: pastri::DecompressError) -> Self {
+        StoreError::Decompress(e)
+    }
+}
+
+/// Writes a block store: append blocks, then [`finish`](StoreWriter::finish).
+pub struct StoreWriter {
+    file: File,
+    compressor: Compressor,
+    index: Vec<(u64, u64)>,
+    cursor: u64,
+}
+
+impl StoreWriter {
+    /// Creates a store at `path` for blocks of `geometry` at error bound
+    /// `eb` (truncates any existing file).
+    pub fn create(path: &Path, geometry: BlockGeometry, eb: f64) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .read(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&MAGIC)?;
+        file.write_all(&eb.to_le_bytes())?;
+        file.write_all(&(geometry.num_subblocks as u64).to_le_bytes())?;
+        file.write_all(&(geometry.subblock_size as u64).to_le_bytes())?;
+        file.write_all(&0u64.to_le_bytes())?; // num_blocks, patched later
+        file.write_all(&0u64.to_le_bytes())?; // index offset, patched later
+        Ok(Self {
+            file,
+            compressor: Compressor::new(geometry, eb),
+            index: Vec::new(),
+            cursor: HEADER_LEN,
+        })
+    }
+
+    /// Compresses and appends one full block.
+    ///
+    /// # Panics
+    /// Panics if `block.len() != geometry.block_size()`.
+    pub fn append_block(&mut self, block: &[f64]) -> Result<(), StoreError> {
+        assert_eq!(
+            block.len(),
+            self.compressor.geometry().block_size(),
+            "append_block needs exactly one block"
+        );
+        let payload = self.compressor.compress(block);
+        self.file.write_all(&payload)?;
+        self.index.push((self.cursor, payload.len() as u64));
+        self.cursor += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Writes the index and patches the header. Returns the block count.
+    pub fn finish(mut self) -> Result<usize, StoreError> {
+        let index_offset = self.cursor;
+        for &(off, len) in &self.index {
+            self.file.write_all(&off.to_le_bytes())?;
+            self.file.write_all(&len.to_le_bytes())?;
+        }
+        self.file.seek(SeekFrom::Start(8 + 8 + 8 + 8))?;
+        self.file
+            .write_all(&(self.index.len() as u64).to_le_bytes())?;
+        self.file.write_all(&index_offset.to_le_bytes())?;
+        self.file.flush()?;
+        Ok(self.index.len())
+    }
+}
+
+/// Read side: random access to stored blocks.
+pub struct StoreReader {
+    file: File,
+    geometry: BlockGeometry,
+    error_bound: f64,
+    index: Vec<(u64, u64)>,
+}
+
+impl StoreReader {
+    /// Opens a store and loads its index.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if header[..8] != MAGIC {
+            return Err(StoreError::Corrupt("bad magic"));
+        }
+        let rd_u64 = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().unwrap());
+        let eb = f64::from_le_bytes(header[8..16].try_into().unwrap());
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(StoreError::Corrupt("invalid error bound"));
+        }
+        let num_sb = rd_u64(16) as usize;
+        let sb_size = rd_u64(24) as usize;
+        if num_sb == 0 || sb_size == 0 || num_sb.saturating_mul(sb_size) > (1 << 28) {
+            return Err(StoreError::Corrupt("implausible geometry"));
+        }
+        let num_blocks = rd_u64(32) as usize;
+        let index_offset = rd_u64(40);
+        // Index plausibility: 16 bytes per entry must fit in the file.
+        let index_bytes = (num_blocks as u64).saturating_mul(16);
+        if index_offset < HEADER_LEN || index_offset.saturating_add(index_bytes) > file_len {
+            return Err(StoreError::Corrupt("index out of bounds"));
+        }
+        file.seek(SeekFrom::Start(index_offset))?;
+        let mut index = Vec::with_capacity(num_blocks);
+        let mut entry = [0u8; 16];
+        for _ in 0..num_blocks {
+            file.read_exact(&mut entry)?;
+            let off = u64::from_le_bytes(entry[..8].try_into().unwrap());
+            let len = u64::from_le_bytes(entry[8..].try_into().unwrap());
+            if off < HEADER_LEN || off.saturating_add(len) > index_offset {
+                return Err(StoreError::Corrupt("block entry out of bounds"));
+            }
+            index.push((off, len));
+        }
+        Ok(Self {
+            file,
+            geometry: BlockGeometry::new(num_sb, sb_size),
+            error_bound: eb,
+            index,
+        })
+    }
+
+    /// Number of stored blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Block geometry.
+    #[must_use]
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geometry
+    }
+
+    /// The error bound the store was written with.
+    #[must_use]
+    pub fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+
+    /// Reads and decompresses block `i` (random access: one seek + one
+    /// read of the compressed payload).
+    pub fn read_block(&mut self, i: usize) -> Result<Vec<f64>, StoreError> {
+        let &(off, len) = self.index.get(i).ok_or(StoreError::OutOfRange {
+            index: i,
+            blocks: self.index.len(),
+        })?;
+        self.file.seek(SeekFrom::Start(off))?;
+        let mut payload = vec![0u8; len as usize];
+        self.file.read_exact(&mut payload)?;
+        Ok(pastri::decompress(&payload)?)
+    }
+
+    /// Reads the whole store back as one stream (iteration order).
+    pub fn read_all(&mut self) -> Result<Vec<f64>, StoreError> {
+        let mut out = Vec::with_capacity(self.num_blocks() * self.geometry.block_size());
+        for i in 0..self.num_blocks() {
+            out.extend(self.read_block(i)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("eri-store-{}-{name}", std::process::id()))
+    }
+
+    fn patterned_block(geom: BlockGeometry, seed: usize) -> Vec<f64> {
+        let mut block = Vec::with_capacity(geom.block_size());
+        for sb in 0..geom.num_subblocks {
+            let s = ((sb + seed) as f64 * 0.61).cos();
+            for i in 0..geom.subblock_size {
+                block.push(s * ((i as f64 + seed as f64) * 0.37).sin() * 1e-6);
+            }
+        }
+        block
+    }
+
+    #[test]
+    fn write_read_roundtrip_random_access() {
+        let path = tmp("roundtrip");
+        let geom = BlockGeometry::new(6, 8);
+        let eb = 1e-10;
+        let blocks: Vec<Vec<f64>> = (0..12).map(|b| patterned_block(geom, b)).collect();
+        {
+            let mut w = StoreWriter::create(&path, geom, eb).unwrap();
+            for b in &blocks {
+                w.append_block(b).unwrap();
+            }
+            assert_eq!(w.finish().unwrap(), 12);
+        }
+        let mut r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.num_blocks(), 12);
+        assert_eq!(r.geometry(), geom);
+        assert_eq!(r.error_bound(), eb);
+        // Random access, out of order.
+        for &i in &[7usize, 0, 11, 3, 7] {
+            let got = r.read_block(i).unwrap();
+            assert_eq!(got.len(), geom.block_size());
+            for (a, b) in blocks[i].iter().zip(&got) {
+                assert!((a - b).abs() <= eb);
+            }
+        }
+        // Full stream.
+        let all = r.read_all().unwrap();
+        assert_eq!(all.len(), 12 * geom.block_size());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_store() {
+        let path = tmp("empty");
+        let geom = BlockGeometry::new(2, 2);
+        StoreWriter::create(&path, geom, 1e-8)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.num_blocks(), 0);
+        assert!(matches!(
+            r.read_block(0),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unfinished_store_rejected() {
+        // Without finish(), the header still says 0 blocks / 0 index.
+        let path = tmp("unfinished");
+        let geom = BlockGeometry::new(2, 2);
+        {
+            let mut w = StoreWriter::create(&path, geom, 1e-8).unwrap();
+            w.append_block(&[1e-5; 4]).unwrap();
+            // dropped without finish()
+        }
+        let err = StoreReader::open(&path);
+        assert!(err.is_err(), "index offset 0 must be rejected");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTASTORE_______________________________________").unwrap();
+        assert!(matches!(
+            StoreReader::open(&path),
+            Err(StoreError::Corrupt("bad magic"))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_block_size_panics() {
+        let path = tmp("wrongsize");
+        let geom = BlockGeometry::new(2, 2);
+        let mut w = StoreWriter::create(&path, geom, 1e-8).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = w.append_block(&[0.0; 3]);
+        }));
+        assert!(result.is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,197 @@
+//! FPC: fast lossless compression of double-precision data
+//! (Burtscher & Ratanaworabhan, IEEE Transactions on Computers 2009).
+//!
+//! Two hash-table value predictors run in parallel over the bit images of
+//! the doubles:
+//!
+//! * **FCM** (finite context method) — predicts the next value from a hash
+//!   of recent values,
+//! * **DFCM** (differential FCM) — predicts the next *delta* from a hash
+//!   of recent deltas.
+//!
+//! The better predictor is chosen per value (1 bit), the prediction is
+//! XORed with the truth, and the residual is stored as a leading-zero-byte
+//! count (3 bits) plus the surviving bytes. Incompressible data costs
+//! ~0.5 % overhead; well-predicted data approaches 8× (never more, by
+//! construction — which is the paper's point about lossless limits).
+
+use bitio::{BitReader, BitWriter};
+use codecs::varint;
+
+use crate::LosslessError;
+
+const MAGIC: [u8; 4] = *b"FPC0";
+/// log2 of predictor table size (FPC's default table of 2^16 entries).
+const TABLE_BITS: u32 = 16;
+const TABLE_SIZE: usize = 1 << TABLE_BITS;
+
+/// FPC compressor state (both predictor tables).
+struct Predictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+}
+
+impl Predictors {
+    fn new() -> Self {
+        Self {
+            fcm: vec![0; TABLE_SIZE],
+            dfcm: vec![0; TABLE_SIZE],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+        }
+    }
+
+    /// Returns (fcm_prediction, dfcm_prediction) for the next value.
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
+    }
+
+    /// Updates tables and hashes with the actual value.
+    #[inline]
+    fn update(&mut self, actual: u64) {
+        self.fcm[self.fcm_hash] = actual;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (actual >> 48) as usize) & (TABLE_SIZE - 1);
+        let delta = actual.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & (TABLE_SIZE - 1);
+        self.last = actual;
+    }
+}
+
+/// Compresses doubles losslessly with FPC.
+#[must_use]
+pub fn compress(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8 / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    varint::write_u64(&mut out, data.len() as u64);
+    let mut w = BitWriter::with_capacity(data.len() * 8);
+    let mut pred = Predictors::new();
+    for &v in data {
+        let bits = v.to_bits();
+        let (fcm, dfcm) = pred.predict();
+        let xf = bits ^ fcm;
+        let xd = bits ^ dfcm;
+        let (sel, residual) = if xf.leading_zeros() >= xd.leading_zeros() {
+            (false, xf)
+        } else {
+            (true, xd)
+        };
+        // Leading-zero BYTES. As in real FPC, the 3-bit count encodes
+        // {0,1,2,3,4,5,6,8}: code 7 means a fully-zero residual (8 bytes),
+        // and an actual count of 7 is rounded down to 6 — perfect
+        // predictions then cost only the 4-bit header.
+        let lzb = residual.leading_zeros() / 8;
+        let code = match lzb {
+            8 => 7u32,
+            7 => 6,
+            l => l,
+        };
+        w.write_bit(sel);
+        w.write_bits(u64::from(code), 3);
+        let keep_bytes = if code == 7 { 0 } else { 8 - code };
+        w.write_bits(residual, keep_bytes * 8);
+        pred.update(bits);
+    }
+    let payload = w.into_bytes();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses an FPC stream.
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f64>, LosslessError> {
+    let mut pos = 0usize;
+    if bytes.get(..4) != Some(&MAGIC) {
+        return Err(LosslessError::Corrupt("bad magic"));
+    }
+    pos += 4;
+    let n = varint::read_u64(bytes, &mut pos).ok_or(LosslessError::Corrupt("bad length"))? as usize;
+    let payload = bytes.get(pos..).ok_or(LosslessError::Corrupt("no payload"))?;
+    // Every value costs at least 4 bits, so a valid count is bounded by
+    // the payload size — reject inflated headers before allocating.
+    if n > payload.len() * 2 {
+        return Err(LosslessError::Corrupt("declared count exceeds payload"));
+    }
+    let mut r = BitReader::new(payload);
+    let mut pred = Predictors::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sel = r.read_bit()?;
+        let code = r.read_bits(3)? as u32;
+        let keep_bytes = if code == 7 { 0 } else { 8 - code };
+        let residual = r.read_bits(keep_bytes * 8)?;
+        let (fcm, dfcm) = pred.predict();
+        let bits = residual ^ if sel { dfcm } else { fcm };
+        pred.update(bits);
+        out.push(f64::from_bits(bits));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f64]) -> usize {
+        let bytes = compress(data);
+        let back = decompress(&bytes).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        bytes.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(&[]);
+        roundtrip(&[0.0]);
+        roundtrip(&[f64::NAN, f64::INFINITY, -0.0, 1e-300]);
+    }
+
+    #[test]
+    fn constant_data_compresses_well() {
+        let data = vec![std::f64::consts::PI; 10_000];
+        let len = roundtrip(&data);
+        // Repeated value -> FCM hits after warmup -> ~4 bits/value.
+        assert!(len < 10_000, "len {len}");
+    }
+
+    #[test]
+    fn linear_ramp_compresses_via_dfcm() {
+        // Constant integer stride in the bit patterns: DFCM's home turf.
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let len = roundtrip(&data);
+        assert!(len < 30_000, "len {len}");
+    }
+
+    #[test]
+    fn random_data_overhead_bounded() {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let data: Vec<f64> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f64::from_bits((x >> 12) | (1023u64 << 52))
+            })
+            .collect();
+        let len = roundtrip(&data);
+        // Incompressible: at most 4 bits/value overhead.
+        assert!(len <= 4096 * 8 + 4096 / 2 + 16, "len {len}");
+    }
+
+    #[test]
+    fn rejects_corrupt() {
+        assert!(decompress(b"xxxx").is_err());
+        let bytes = compress(&[1.0, 2.0, 3.0]);
+        assert!(decompress(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Lossless floating-point compressor baselines.
+//!
+//! The paper's related-work section (Sec. II) claims lossless compressors
+//! achieve only ~1.1–2× on scientific floating-point data, which is the
+//! motivation for error-bounded *lossy* compression. This crate provides
+//! the two baselines needed to reproduce that claim:
+//!
+//! * [`fpc`] — FPC (Burtscher & Ratanaworabhan, IEEE ToC 2009): FCM and
+//!   DFCM hash predictors, XOR residuals, leading-zero-byte coding.
+//! * [`deflate_like`] — a DEFLATE-style pipeline built from the workspace
+//!   substrates: LZSS tokens entropy-coded with canonical Huffman
+//!   (stand-in for Gzip).
+
+pub mod deflate_like;
+pub mod fpc;
+
+/// Errors from the lossless decoders.
+#[derive(Debug)]
+pub enum LosslessError {
+    Corrupt(&'static str),
+    Codec(codecs::CodecError),
+}
+
+impl std::fmt::Display for LosslessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LosslessError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
+            LosslessError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LosslessError {}
+
+impl From<codecs::CodecError> for LosslessError {
+    fn from(e: codecs::CodecError) -> Self {
+        LosslessError::Codec(e)
+    }
+}
+
+impl From<bitio::ReadError> for LosslessError {
+    fn from(_: bitio::ReadError) -> Self {
+        LosslessError::Corrupt("bit stream truncated")
+    }
+}

@@ -1,0 +1,528 @@
+//! The PaSTRI container format and the top-level [`Compressor`] API.
+//!
+//! Byte layout:
+//!
+//! ```text
+//! magic            4 bytes  "PSTR"
+//! version          1 byte   (= 1)
+//! metric wire id   1 byte   (provenance; not needed to decode)
+//! tree wire id     1 byte
+//! error bound      8 bytes  f64 LE
+//! num_subblocks    varint
+//! subblock_size    varint
+//! original_len     varint   (doubles, before tail padding)
+//! num_blocks       varint
+//! blocks           num_blocks × { varint payload_bytes; payload }
+//! ```
+//!
+//! Each block payload is byte-aligned and self-contained, which is what
+//! makes PaSTRI "highly parallelizable … each block compressed and
+//! decompressed completely independent from each other" (paper
+//! Sec. IV-C): both directions fan blocks out across threads with rayon.
+
+use bitio::{BitReader, BitWriter};
+use rayon::prelude::*;
+
+use crate::block::{compress_block, decompress_block};
+use crate::encoding::EncodingTree;
+use crate::error::DecompressError;
+use crate::geometry::BlockGeometry;
+use crate::metrics::ScalingMetric;
+use crate::quant::Quantizer;
+use crate::stats::CompressionStats;
+
+const MAGIC: [u8; 4] = *b"PSTR";
+const VERSION: u8 = 1;
+
+/// How many bits quantize the scaling coefficients (paper Sec. IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleRule {
+    /// The paper's practical rule: `S_b = P_b`. Bounds the extra ECQ cost
+    /// to two bins while keeping the scale stream small.
+    #[default]
+    Practical,
+    /// The naive alternative the paper argues against: scale bins of
+    /// `2·EB` width (`S_binsize = 2·EB`), which costs ~33 bits per scale
+    /// at EB = 1e-10. Exists for the ablation benchmark.
+    NaiveEbBins,
+}
+
+/// Which ECQ representation blocks may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EcqRepr {
+    /// Per-block cost comparison picks dense or sparse (the paper's
+    /// "adaptive behavior").
+    #[default]
+    Auto,
+    /// Always the tree-encoded dense stream (ablation).
+    DenseOnly,
+    /// Always the (index, value) outlier list (ablation).
+    SparseOnly,
+}
+
+/// Tuning knobs beyond geometry and error bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressorOptions {
+    /// Pattern-scaling metric (default ER, the paper's winner).
+    pub metric: ScalingMetric,
+    /// ECQ encoding tree (default Tree 5, the paper's winner).
+    pub tree: EncodingTree,
+    /// Scale-coefficient bit-width rule (default: practical `S_b = P_b`).
+    pub scale_rule: ScaleRule,
+    /// ECQ representation policy (default: adaptive).
+    pub ecq_repr: EcqRepr,
+}
+
+/// The PaSTRI compressor for one block geometry and error bound.
+#[derive(Debug, Clone, Copy)]
+pub struct Compressor {
+    geometry: BlockGeometry,
+    quant: Quantizer,
+    options: CompressorOptions,
+}
+
+impl Compressor {
+    /// Compressor with default options (ER metric, Tree 5).
+    #[must_use]
+    pub fn new(geometry: BlockGeometry, eb: f64) -> Self {
+        Self::with_options(geometry, eb, CompressorOptions::default())
+    }
+
+    /// Compressor with a *value-range-relative* error bound: the absolute
+    /// bound becomes `rel · (max − min)` of the finite values in `data`
+    /// (the convention SZ and ZFP expose as "REL" mode). Falls back to
+    /// `rel` itself on constant/empty data.
+    #[must_use]
+    pub fn with_relative_bound(geometry: BlockGeometry, rel: f64, data: &[f64]) -> Self {
+        assert!(rel.is_finite() && rel > 0.0, "relative bound must be finite and > 0");
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in data {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let range = if hi > lo { hi - lo } else { 1.0 };
+        Self::new(geometry, rel * range)
+    }
+
+    /// Compressor with explicit metric/tree choices.
+    #[must_use]
+    pub fn with_options(geometry: BlockGeometry, eb: f64, options: CompressorOptions) -> Self {
+        Self {
+            geometry,
+            quant: Quantizer::new(eb),
+            options,
+        }
+    }
+
+    /// The block geometry this compressor splits streams into.
+    #[must_use]
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geometry
+    }
+
+    /// The absolute error bound.
+    #[must_use]
+    pub fn error_bound(&self) -> f64 {
+        self.quant.eb()
+    }
+
+    /// Options in effect.
+    #[must_use]
+    pub fn options(&self) -> CompressorOptions {
+        self.options
+    }
+
+    /// Compresses a stream of doubles. The final partial block (if any) is
+    /// zero-padded, mirroring the paper's screened-element handling; the
+    /// original length is recorded so decompression restores it exactly.
+    #[must_use]
+    pub fn compress(&self, data: &[f64]) -> Vec<u8> {
+        self.compress_impl(data, None).0
+    }
+
+    /// Like [`compress`](Self::compress), also returning statistics.
+    #[must_use]
+    pub fn compress_with_stats(&self, data: &[f64]) -> (Vec<u8>, CompressionStats) {
+        let mut stats = CompressionStats::default();
+        let out = self.compress_impl(data, Some(&mut stats)).0;
+        stats.compressed_bytes = out.len() as u64;
+        stats.original_bytes = (data.len() * 8) as u64;
+        (out, stats)
+    }
+
+    fn compress_impl(
+        &self,
+        data: &[f64],
+        stats: Option<&mut CompressionStats>,
+    ) -> (Vec<u8>, ()) {
+        let bs = self.geometry.block_size();
+        let num_blocks = self.geometry.blocks_for_len(data.len());
+
+        // Per-block payloads in parallel; the tail block is padded.
+        let results: Vec<(Vec<u8>, CompressionStats)> = (0..num_blocks)
+            .into_par_iter()
+            .map(|b| {
+                let start = b * bs;
+                let end = ((b + 1) * bs).min(data.len());
+                let mut local = CompressionStats::default();
+                let mut w = BitWriter::new();
+                if end - start == bs {
+                    compress_block(
+                        &data[start..end],
+                        &self.geometry,
+                        &self.quant,
+                        &self.options,
+                        &mut w,
+                        Some(&mut local),
+                    );
+                } else {
+                    let mut padded = vec![0.0f64; bs];
+                    padded[..end - start].copy_from_slice(&data[start..end]);
+                    compress_block(
+                        &padded,
+                        &self.geometry,
+                        &self.quant,
+                        &self.options,
+                        &mut w,
+                        Some(&mut local),
+                    );
+                }
+                (w.into_bytes(), local)
+            })
+            .collect();
+
+        // Assemble the container.
+        let mut out = Vec::with_capacity(32 + results.iter().map(|(p, _)| p.len() + 5).sum::<usize>());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.options.metric.wire_id());
+        out.push(self.options.tree.wire_id());
+        out.extend_from_slice(&self.quant.eb().to_le_bytes());
+        write_varint(&mut out, self.geometry.num_subblocks as u64);
+        write_varint(&mut out, self.geometry.subblock_size as u64);
+        write_varint(&mut out, data.len() as u64);
+        write_varint(&mut out, num_blocks as u64);
+        let header_len = out.len();
+        for (payload, _) in &results {
+            write_varint(&mut out, payload.len() as u64);
+            out.extend_from_slice(payload);
+        }
+        if let Some(s) = stats {
+            for (_, local) in &results {
+                s.merge(local);
+            }
+            let framing = header_len as u64
+                + results
+                    .iter()
+                    .map(|(p, _)| varint_len(p.len() as u64) as u64)
+                    .sum::<u64>();
+            s.record_container_bits(framing * 8);
+        }
+        (out, ())
+    }
+
+    /// Decompresses a PaSTRI container produced by any [`Compressor`];
+    /// geometry, error bound, and tree are read from the header.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Vec<f64>, DecompressError> {
+        decompress(bytes)
+    }
+}
+
+/// Decompresses a PaSTRI container (self-describing; no configuration
+/// needed).
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f64>, DecompressError> {
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into a caller-provided buffer, reusing its allocation —
+/// the right API for the SCF reuse loop, where the same container is
+/// decoded every iteration. The buffer is cleared and resized as needed.
+pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), DecompressError> {
+    let mut pos = 0usize;
+    let magic = bytes.get(..4).ok_or(DecompressError::Truncated)?;
+    if magic != MAGIC {
+        return Err(DecompressError::BadMagic);
+    }
+    pos += 4;
+    let version = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
+    if version != VERSION {
+        return Err(DecompressError::BadVersion(version));
+    }
+    pos += 1;
+    let _metric = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
+    pos += 1;
+    let tree_id = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
+    let tree = EncodingTree::from_wire_id(tree_id)
+        .ok_or(DecompressError::Corrupt("unknown encoding tree"))?;
+    pos += 1;
+    let eb_bytes: [u8; 8] = bytes
+        .get(pos..pos + 8)
+        .ok_or(DecompressError::Truncated)?
+        .try_into()
+        .unwrap();
+    let eb = f64::from_le_bytes(eb_bytes);
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(DecompressError::Corrupt("invalid error bound"));
+    }
+    pos += 8;
+    let num_sb = read_varint(bytes, &mut pos)? as usize;
+    let sb_size = read_varint(bytes, &mut pos)? as usize;
+    if num_sb == 0 || sb_size == 0 || num_sb.saturating_mul(sb_size) > (1 << 28) {
+        return Err(DecompressError::Corrupt("implausible geometry"));
+    }
+    let original_len = read_varint(bytes, &mut pos)? as usize;
+    let num_blocks = read_varint(bytes, &mut pos)? as usize;
+    let geometry = BlockGeometry::new(num_sb, sb_size);
+    let bs = geometry.block_size();
+    if num_blocks != geometry.blocks_for_len(original_len) {
+        return Err(DecompressError::Corrupt("block count mismatch"));
+    }
+
+    // Each block costs at least two bytes (length varint + payload), so a
+    // valid block count is bounded by the container size — reject inflated
+    // headers before any allocation sized by them.
+    if num_blocks > bytes.len() {
+        return Err(DecompressError::Corrupt("block count exceeds container size"));
+    }
+    // In-memory decode ceiling (16 GiB of doubles). Larger datasets use
+    // the streaming format, which decodes segment by segment.
+    if num_blocks.saturating_mul(bs) > (1usize << 31) {
+        return Err(DecompressError::Corrupt("decoded size exceeds in-memory ceiling"));
+    }
+
+    // Slice out per-block payloads (cheap sequential scan), then decode in
+    // parallel.
+    let mut payloads = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        let len = read_varint(bytes, &mut pos)? as usize;
+        let payload = bytes
+            .get(pos..pos.checked_add(len).ok_or(DecompressError::Truncated)?)
+            .ok_or(DecompressError::Truncated)?;
+        payloads.push(payload);
+        pos += len;
+    }
+
+    let quant = Quantizer::new(eb);
+    out.clear();
+    out.resize(num_blocks * bs, 0.0);
+    out.par_chunks_mut(bs)
+        .zip(payloads.par_iter())
+        .map(|(chunk, payload)| {
+            let mut r = BitReader::new(payload);
+            decompress_block(&mut r, &geometry, &quant, tree, chunk)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    out.truncate(original_len);
+    Ok(())
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros().min(63);
+    (bits as usize).div_ceil(7).max(1)
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(DecompressError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DecompressError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecompressError::Corrupt("varint overflow"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned_stream(blocks: usize, geom: BlockGeometry) -> Vec<f64> {
+        let mut data = Vec::new();
+        for b in 0..blocks {
+            let pat: Vec<f64> = (0..geom.subblock_size)
+                .map(|i| ((i as f64 + b as f64) * 0.37).sin() * 1e-6)
+                .collect();
+            for j in 0..geom.num_subblocks {
+                let s = ((j + b) as f64 * 0.61).cos();
+                data.extend(pat.iter().map(|p| p * s));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn roundtrip_multi_block() {
+        let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
+        let c = Compressor::new(geom, 1e-10);
+        let data = patterned_stream(5, geom);
+        let bytes = c.compress(&data);
+        let back = c.decompress(&bytes).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_partial_tail_block() {
+        let geom = BlockGeometry::new(4, 9); // block = 36
+        let c = Compressor::new(geom, 1e-9);
+        for len in [0usize, 1, 35, 36, 37, 71, 100] {
+            let data: Vec<f64> = (0..len).map(|i| (i as f64 * 0.1).sin() * 1e-5).collect();
+            let bytes = c.compress(&data);
+            let back = c.decompress(&bytes).unwrap();
+            assert_eq!(back.len(), len, "len={len}");
+            for (a, b) in data.iter().zip(&back) {
+                assert!((a - b).abs() <= 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accounting_consistent() {
+        let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
+        let c = Compressor::new(geom, 1e-10);
+        let data = patterned_stream(8, geom);
+        let (bytes, stats) = c.compress_with_stats(&data);
+        assert_eq!(stats.blocks, 8);
+        assert_eq!(stats.compressed_bytes, bytes.len() as u64);
+        assert_eq!(stats.original_bytes, (data.len() * 8) as u64);
+        // Every accounted bit category sums to the container size
+        // (up to per-block byte-alignment padding, < 1 byte per block).
+        let accounted = stats.header_bits
+            + stats.pq_bits
+            + stats.sq_bits
+            + stats.ecq_bits
+            + stats.verbatim_bits
+            + stats.container_bits;
+        let total_bits = bytes.len() as u64 * 8;
+        assert!(accounted <= total_bits);
+        assert!(total_bits - accounted < 8 * stats.blocks);
+        assert!(stats.compression_ratio() > 4.0, "CR {}", stats.compression_ratio());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decompress(b"nope").unwrap_err(), DecompressError::BadMagic);
+        assert_eq!(decompress(b"PS").unwrap_err(), DecompressError::Truncated);
+        let geom = BlockGeometry::new(2, 2);
+        let c = Compressor::new(geom, 1e-10);
+        let mut bytes = c.compress(&[1e-6, 2e-6, 3e-6, 4e-6]);
+        bytes[4] = 99; // bad version
+        assert!(matches!(
+            decompress(&bytes).unwrap_err(),
+            DecompressError::BadVersion(99)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
+        let c = Compressor::new(geom, 1e-10);
+        let data = patterned_stream(3, geom);
+        let bytes = c.compress(&data);
+        for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decompress(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let geom = BlockGeometry::new(2, 3);
+        let c = Compressor::new(geom, 1e-8);
+        let bytes = c.compress(&[]);
+        let back = c.decompress(&bytes).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn header_records_options() {
+        let geom = BlockGeometry::new(2, 3);
+        let opts = CompressorOptions {
+            metric: ScalingMetric::Aar,
+            tree: EncodingTree::Tree2,
+            ..Default::default()
+        };
+        let c = Compressor::with_options(geom, 1e-8, opts);
+        let bytes = c.compress(&[1e-5; 12]);
+        assert_eq!(bytes[5], ScalingMetric::Aar.wire_id());
+        assert_eq!(bytes[6], EncodingTree::Tree2.wire_id());
+        // Decoding uses the header tree, not the caller's.
+        let back = decompress(&bytes).unwrap();
+        for v in back {
+            assert!((v - 1e-5).abs() <= 1e-8);
+        }
+    }
+
+    #[test]
+    fn decompress_into_reuses_buffer() {
+        let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
+        let c = Compressor::new(geom, 1e-10);
+        let data = patterned_stream(3, geom);
+        let bytes = c.compress(&data);
+        let mut buf = Vec::with_capacity(data.len() + 100);
+        let cap_before = buf.capacity();
+        super::decompress_into(&bytes, &mut buf).unwrap();
+        assert_eq!(buf.len(), data.len());
+        assert_eq!(buf.capacity(), cap_before, "no reallocation expected");
+        for (a, b) in data.iter().zip(&buf) {
+            assert!((a - b).abs() <= 1e-10);
+        }
+        // Second decode into the same buffer.
+        super::decompress_into(&bytes, &mut buf).unwrap();
+        assert_eq!(buf.len(), data.len());
+    }
+
+    #[test]
+    fn relative_bound_scales_with_range() {
+        let geom = BlockGeometry::new(2, 4);
+        let small: Vec<f64> = (0..16).map(|i| i as f64 * 1e-8).collect();
+        let large: Vec<f64> = (0..16).map(|i| i as f64 * 1e-2).collect();
+        let c_small = Compressor::with_relative_bound(geom, 1e-4, &small);
+        let c_large = Compressor::with_relative_bound(geom, 1e-4, &large);
+        // Absolute bounds scale with the data range.
+        assert!((c_small.error_bound() - 15e-8 * 1e-4).abs() < 1e-20);
+        assert!((c_large.error_bound() - 15e-2 * 1e-4).abs() < 1e-14);
+        // And the bound holds relative to each dataset's range.
+        for (c, data) in [(c_small, &small), (c_large, &large)] {
+            let back = c.decompress(&c.compress(data)).unwrap();
+            for (a, b) in data.iter().zip(&back) {
+                assert!((a - b).abs() <= c.error_bound());
+            }
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_write() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Decompression error type.
+
+use std::fmt;
+
+/// Why a compressed stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream does not start with the PaSTRI magic bytes.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u8),
+    /// The stream ended before all declared content was read.
+    Truncated,
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::BadMagic => write!(f, "not a PaSTRI stream (bad magic)"),
+            DecompressError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            DecompressError::Truncated => write!(f, "stream truncated"),
+            DecompressError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+impl From<bitio::ReadError> for DecompressError {
+    fn from(_: bitio::ReadError) -> Self {
+        DecompressError::Truncated
+    }
+}

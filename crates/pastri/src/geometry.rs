@@ -1,0 +1,80 @@
+//! Block geometry: how the 1-D stream decomposes into blocks and
+//! sub-blocks.
+//!
+//! Algorithm 1 of the paper, lines 3–4: for a BF configuration with shell
+//! sizes `N1..N4`, `num_SB = N1·N2` and `SB_size = N3·N4`. PaSTRI itself
+//! only needs the two products — the geometry is decoupled from quantum
+//! chemistry so the compressor works on *any* dataset with this
+//! sub-block-scaling structure (the paper's closing remark).
+
+/// Sub-block decomposition of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockGeometry {
+    /// Sub-blocks per block (`N1·N2`).
+    pub num_subblocks: usize,
+    /// Points per sub-block (`N3·N4`).
+    pub subblock_size: usize,
+}
+
+impl BlockGeometry {
+    /// Geometry from the two products directly.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(num_subblocks: usize, subblock_size: usize) -> Self {
+        assert!(num_subblocks > 0 && subblock_size > 0, "degenerate geometry");
+        Self {
+            num_subblocks,
+            subblock_size,
+        }
+    }
+
+    /// Geometry from 4-D block dimensions `[N1, N2, N3, N4]`.
+    #[must_use]
+    pub fn from_dims(dims: [usize; 4]) -> Self {
+        Self::new(dims[0] * dims[1], dims[2] * dims[3])
+    }
+
+    /// Points per block.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.num_subblocks * self.subblock_size
+    }
+
+    /// Number of whole blocks needed to hold `len` values (last one
+    /// zero-padded).
+    #[must_use]
+    pub fn blocks_for_len(&self, len: usize) -> usize {
+        len.div_ceil(self.block_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dims_products() {
+        let g = BlockGeometry::from_dims([10, 6, 10, 10]);
+        assert_eq!(g.num_subblocks, 60);
+        assert_eq!(g.subblock_size, 100);
+        assert_eq!(g.block_size(), 6000);
+    }
+
+    #[test]
+    fn blocks_for_len_rounds_up() {
+        let g = BlockGeometry::new(4, 25); // block = 100
+        assert_eq!(g.blocks_for_len(0), 0);
+        assert_eq!(g.blocks_for_len(1), 1);
+        assert_eq!(g.blocks_for_len(100), 1);
+        assert_eq!(g.blocks_for_len(101), 2);
+        assert_eq!(g.blocks_for_len(1000), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dims_panic() {
+        let _ = BlockGeometry::new(0, 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Container inspection without full decompression.
+//!
+//! Parses the container header and each block's 3-bit kind tag (the first
+//! bits of every payload), giving tooling a cheap census — sizes, error
+//! bound, geometry, per-kind block counts — without decoding a single
+//! data value.
+
+use crate::block::BlockKind;
+use crate::encoding::EncodingTree;
+use crate::error::DecompressError;
+use crate::geometry::BlockGeometry;
+use crate::metrics::ScalingMetric;
+
+/// Everything the container header + block tags reveal.
+#[derive(Debug, Clone)]
+pub struct ContainerInfo {
+    /// Absolute error bound the stream was compressed with.
+    pub error_bound: f64,
+    /// Block geometry.
+    pub geometry: BlockGeometry,
+    /// Original number of doubles (before tail padding).
+    pub original_len: usize,
+    /// Number of blocks (including the padded tail block).
+    pub num_blocks: usize,
+    /// Total container size in bytes.
+    pub container_bytes: usize,
+    /// Scaling metric recorded at compression time (provenance).
+    pub metric: Option<ScalingMetric>,
+    /// Encoding tree recorded at compression time.
+    pub tree: EncodingTree,
+    /// Blocks per [`BlockKind`], indexed by discriminant
+    /// (AllZero, PatternOnly, Dense, Sparse, Verbatim).
+    pub kind_counts: [u64; 5],
+    /// Sum of per-block payload bytes (container minus framing).
+    pub payload_bytes: u64,
+}
+
+impl ContainerInfo {
+    /// Compression ratio versus raw doubles.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.container_bytes == 0 {
+            return 0.0;
+        }
+        (self.original_len * 8) as f64 / self.container_bytes as f64
+    }
+}
+
+/// Parses a PaSTRI container's metadata. Cost is O(number of blocks), not
+/// O(data): only each block's first byte is examined.
+pub fn inspect(bytes: &[u8]) -> Result<ContainerInfo, DecompressError> {
+    let mut pos = 0usize;
+    if bytes.get(..4) != Some(b"PSTR".as_slice()) {
+        return Err(DecompressError::BadMagic);
+    }
+    pos += 4;
+    let version = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
+    if version != 1 {
+        return Err(DecompressError::BadVersion(version));
+    }
+    pos += 1;
+    let metric = ScalingMetric::from_wire_id(*bytes.get(pos).ok_or(DecompressError::Truncated)?);
+    pos += 1;
+    let tree = EncodingTree::from_wire_id(*bytes.get(pos).ok_or(DecompressError::Truncated)?)
+        .ok_or(DecompressError::Corrupt("unknown encoding tree"))?;
+    pos += 1;
+    let eb_bytes: [u8; 8] = bytes
+        .get(pos..pos + 8)
+        .ok_or(DecompressError::Truncated)?
+        .try_into()
+        .unwrap();
+    let error_bound = f64::from_le_bytes(eb_bytes);
+    pos += 8;
+    let num_sb = read_varint(bytes, &mut pos)? as usize;
+    let sb_size = read_varint(bytes, &mut pos)? as usize;
+    if num_sb == 0 || sb_size == 0 || num_sb.saturating_mul(sb_size) > (1 << 28) {
+        return Err(DecompressError::Corrupt("implausible geometry"));
+    }
+    let original_len = read_varint(bytes, &mut pos)? as usize;
+    let num_blocks = read_varint(bytes, &mut pos)? as usize;
+    let geometry = BlockGeometry::new(num_sb, sb_size);
+
+    let mut kind_counts = [0u64; 5];
+    let mut payload_bytes = 0u64;
+    for _ in 0..num_blocks {
+        let len = read_varint(bytes, &mut pos)? as usize;
+        let payload = bytes
+            .get(pos..pos.checked_add(len).ok_or(DecompressError::Truncated)?)
+            .ok_or(DecompressError::Truncated)?;
+        // Kind is the top 3 bits of the first payload byte; an AllZero
+        // block is 1 byte, everything else longer.
+        let first = *payload.first().ok_or(DecompressError::Corrupt("empty block payload"))?;
+        let kind = first >> 5;
+        if kind > BlockKind::Verbatim as u8 {
+            return Err(DecompressError::Corrupt("unknown block kind"));
+        }
+        kind_counts[kind as usize] += 1;
+        payload_bytes += len as u64;
+        pos += len;
+    }
+    Ok(ContainerInfo {
+        error_bound,
+        geometry,
+        original_len,
+        num_blocks,
+        container_bytes: bytes.len(),
+        metric,
+        tree,
+        kind_counts,
+        payload_bytes,
+    })
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(DecompressError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DecompressError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecompressError::Corrupt("varint overflow"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Compressor;
+
+    #[test]
+    fn inspect_matches_compression_stats() {
+        let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
+        let c = Compressor::new(geom, 1e-10);
+        let mut data = Vec::new();
+        // Three flavours: patterned, zero, and noisy blocks.
+        let pat: Vec<f64> = (0..36).map(|i| ((i as f64) * 0.4).sin() * 1e-6).collect();
+        for j in 0..36 {
+            data.extend(pat.iter().map(|p| p * (1.0 - j as f64 / 40.0)));
+        }
+        data.extend(std::iter::repeat_n(0.0, 1296));
+        let mut x = 7u64;
+        data.extend((0..1296).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 11) as f64 / 2f64.powi(53) - 0.5) * 1e-6
+        }));
+
+        let (bytes, stats) = c.compress_with_stats(&data);
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.error_bound, 1e-10);
+        assert_eq!(info.geometry, geom);
+        assert_eq!(info.original_len, data.len());
+        assert_eq!(info.num_blocks, 3);
+        assert_eq!(info.container_bytes, bytes.len());
+        assert_eq!(info.kind_counts, stats.kind_counts);
+        assert_eq!(info.tree, crate::encoding::EncodingTree::Tree5);
+        assert!(info.compression_ratio() > 1.0);
+        assert!(info.payload_bytes <= bytes.len() as u64);
+    }
+
+    #[test]
+    fn inspect_rejects_garbage() {
+        assert!(matches!(inspect(b"nope"), Err(DecompressError::BadMagic)));
+        let geom = BlockGeometry::new(2, 2);
+        let c = Compressor::new(geom, 1e-8);
+        let bytes = c.compress(&[1e-5; 8]);
+        assert!(inspect(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn inspect_is_cheap_for_all_zero() {
+        let geom = BlockGeometry::new(10, 100);
+        let c = Compressor::new(geom, 1e-10);
+        let bytes = c.compress(&vec![0.0; 100_000]);
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.kind_counts[0], 100); // all AllZero
+        assert_eq!(info.num_blocks, 100);
+    }
+}

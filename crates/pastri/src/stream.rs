@@ -1,0 +1,313 @@
+//! Streaming compression over `std::io` — bounded memory for datasets
+//! that do not fit in RAM (the paper's production files are hundreds of
+//! GB; Sec. III motivates dumping them to a parallel file system as they
+//! are produced).
+//!
+//! Wire format: the ASCII magic `PSTRS` + version byte, then a sequence
+//! of *segments* — each a varint byte length followed by a complete
+//! standalone PaSTRI container of up to `blocks_per_segment` blocks — and
+//! a zero-length terminator. Segments are independently decodable, so a
+//! reader can fan them out across threads or resume after a partial
+//! read; memory never exceeds one segment each way.
+//!
+//! ```
+//! use pastri::{BlockGeometry, Compressor};
+//! use pastri::stream::{StreamWriter, StreamReader};
+//!
+//! let compressor = Compressor::new(BlockGeometry::new(4, 9), 1e-9);
+//! let mut sink = Vec::new();
+//! let mut w = StreamWriter::new(&mut sink, compressor, 8);
+//! for chunk in [[0.25f64; 100], [0.5; 100]] {
+//!     w.write_values(&chunk).unwrap();
+//! }
+//! w.finish().unwrap();
+//!
+//! let mut r = StreamReader::new(sink.as_slice()).unwrap();
+//! let mut restored = Vec::new();
+//! while let Some(seg) = r.next_segment().unwrap() {
+//!     restored.extend(seg);
+//! }
+//! assert_eq!(restored.len(), 200);
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::container::Compressor;
+use crate::error::DecompressError;
+
+const STREAM_MAGIC: [u8; 5] = *b"PSTRS";
+const STREAM_VERSION: u8 = 1;
+
+/// Streaming compressor: feeds values in, emits framed containers.
+pub struct StreamWriter<W: Write> {
+    sink: W,
+    compressor: Compressor,
+    /// Pending raw values (less than one segment).
+    buffer: Vec<f64>,
+    segment_values: usize,
+    started: bool,
+    finished: bool,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Creates a writer flushing whole segments of
+    /// `blocks_per_segment` blocks.
+    ///
+    /// # Panics
+    /// Panics if `blocks_per_segment` is zero.
+    pub fn new(sink: W, compressor: Compressor, blocks_per_segment: usize) -> Self {
+        assert!(blocks_per_segment > 0);
+        let segment_values = compressor.geometry().block_size() * blocks_per_segment;
+        Self {
+            sink,
+            compressor,
+            buffer: Vec::with_capacity(segment_values),
+            segment_values,
+            started: false,
+            finished: false,
+        }
+    }
+
+    /// Appends values to the stream, flushing any full segments.
+    pub fn write_values(&mut self, values: &[f64]) -> io::Result<()> {
+        assert!(!self.finished, "write after finish");
+        self.buffer.extend_from_slice(values);
+        while self.buffer.len() >= self.segment_values {
+            let rest = self.buffer.split_off(self.segment_values);
+            let full = std::mem::replace(&mut self.buffer, rest);
+            self.emit_segment(&full)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the final partial segment and writes the terminator.
+    /// Returns the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.ensure_header()?;
+        if !self.buffer.is_empty() {
+            let tail = std::mem::take(&mut self.buffer);
+            self.emit_segment(&tail)?;
+        }
+        write_varint(&mut self.sink, 0)?;
+        self.finished = true;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.started {
+            self.sink.write_all(&STREAM_MAGIC)?;
+            self.sink.write_all(&[STREAM_VERSION])?;
+            self.started = true;
+        }
+        Ok(())
+    }
+
+    fn emit_segment(&mut self, values: &[f64]) -> io::Result<()> {
+        self.ensure_header()?;
+        let container = self.compressor.compress(values);
+        write_varint(&mut self.sink, container.len() as u64)?;
+        self.sink.write_all(&container)
+    }
+}
+
+/// Streaming decompressor: yields one segment of values at a time.
+pub struct StreamReader<R: Read> {
+    source: R,
+    done: bool,
+}
+
+impl<R: Read> StreamReader<R> {
+    /// Validates the stream header.
+    pub fn new(mut source: R) -> Result<Self, DecompressError> {
+        let mut magic = [0u8; 6];
+        read_exact_or_truncated(&mut source, &mut magic)?;
+        if magic[..5] != STREAM_MAGIC {
+            return Err(DecompressError::BadMagic);
+        }
+        if magic[5] != STREAM_VERSION {
+            return Err(DecompressError::BadVersion(magic[5]));
+        }
+        Ok(Self {
+            source,
+            done: false,
+        })
+    }
+
+    /// Reads and decompresses the next segment; `None` at the terminator.
+    pub fn next_segment(&mut self) -> Result<Option<Vec<f64>>, DecompressError> {
+        if self.done {
+            return Ok(None);
+        }
+        let len = read_varint(&mut self.source)? as usize;
+        if len == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        if len > (1 << 30) {
+            return Err(DecompressError::Corrupt("segment implausibly large"));
+        }
+        let mut container = vec![0u8; len];
+        read_exact_or_truncated(&mut self.source, &mut container)?;
+        crate::container::decompress(&container).map(Some)
+    }
+
+    /// Convenience: drains the whole stream into one vector.
+    pub fn read_to_vec(mut self) -> Result<Vec<f64>, DecompressError> {
+        let mut out = Vec::new();
+        while let Some(seg) = self.next_segment()? {
+            out.extend(seg);
+        }
+        Ok(out)
+    }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, DecompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        read_exact_or_truncated(r, &mut byte)?;
+        if shift == 63 && byte[0] > 1 {
+            return Err(DecompressError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecompressError::Corrupt("varint overflow"));
+        }
+    }
+}
+
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), DecompressError> {
+    r.read_exact(buf).map_err(|_| DecompressError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BlockGeometry;
+
+    fn compressor() -> Compressor {
+        Compressor::new(BlockGeometry::new(4, 9), 1e-9)
+    }
+
+    fn patterned(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i % 36) as f64 * 0.3).sin() * 1e-5).collect()
+    }
+
+    #[test]
+    fn roundtrip_multi_segment() {
+        let data = patterned(36 * 23 + 17); // partial tail everywhere
+        let mut sink = Vec::new();
+        let mut w = StreamWriter::new(&mut sink, compressor(), 4);
+        // Feed in awkward chunk sizes.
+        for chunk in data.chunks(77) {
+            w.write_values(chunk).unwrap();
+        }
+        w.finish().unwrap();
+        let restored = StreamReader::new(sink.as_slice())
+            .unwrap()
+            .read_to_vec()
+            .unwrap();
+        assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            assert!((a - b).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut sink = Vec::new();
+        let w = StreamWriter::new(&mut sink, compressor(), 2);
+        w.finish().unwrap();
+        let restored = StreamReader::new(sink.as_slice())
+            .unwrap()
+            .read_to_vec()
+            .unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn segment_sizes_respected() {
+        let data = patterned(36 * 10);
+        let mut sink = Vec::new();
+        let mut w = StreamWriter::new(&mut sink, compressor(), 3);
+        w.write_values(&data).unwrap();
+        w.finish().unwrap();
+        let mut r = StreamReader::new(sink.as_slice()).unwrap();
+        let mut lens = Vec::new();
+        while let Some(seg) = r.next_segment().unwrap() {
+            lens.push(seg.len());
+        }
+        // 10 blocks at 3 per segment: 3+3+3+1 blocks => 108,108,108,36.
+        assert_eq!(lens, vec![108, 108, 108, 36]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = patterned(36 * 8);
+        let mut sink = Vec::new();
+        let mut w = StreamWriter::new(&mut sink, compressor(), 2);
+        w.write_values(&data).unwrap();
+        w.finish().unwrap();
+        // Cut before the terminator.
+        let cut = &sink[..sink.len() - 3];
+        let mut r = StreamReader::new(cut).unwrap();
+        let result = loop {
+            match r.next_segment() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(result.is_err(), "truncation must surface as an error");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            StreamReader::new(&b"NOTPST\x01"[..]).err(),
+            Some(DecompressError::BadMagic)
+        ));
+        assert!(matches!(
+            StreamReader::new(&b"PSTRS\x63"[..]).err(),
+            Some(DecompressError::BadVersion(0x63))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("pastri-stream-{}.pstrs", std::process::id()));
+        let data = patterned(36 * 5 + 11);
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut w = StreamWriter::new(io::BufWriter::new(file), compressor(), 2);
+            w.write_values(&data).unwrap();
+            w.finish().unwrap();
+        }
+        let file = std::fs::File::open(&path).unwrap();
+        let restored = StreamReader::new(io::BufReader::new(file))
+            .unwrap()
+            .read_to_vec()
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            assert!((a - b).abs() <= 1e-9);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! One-electron integrals over contracted Cartesian Gaussian shells:
+//! overlap, kinetic energy, and nuclear attraction — everything besides
+//! the ERIs that a Hartree–Fock calculation needs.
+//!
+//! All three reduce to McMurchie–Davidson machinery already built for the
+//! ERIs: the Hermite expansion tables `E_t^{ij}` ([`crate::hermite`]) and,
+//! for nuclear attraction, the Hermite Coulomb integrals `R_{tuv}`
+//! ([`crate::md::RTable`]).
+
+use crate::angular::{components, primitive_norm};
+use crate::basis::Shell;
+use crate::hermite::ETable;
+use crate::linalg::Matrix;
+use crate::md::RTable;
+use crate::molecule::Atom;
+
+/// Overlap block `⟨a|b⟩` between two shells: `size(a) × size(b)`.
+#[must_use]
+pub fn overlap(sa: &Shell, sb: &Shell) -> Matrix {
+    one_electron(sa, sb)
+}
+
+/// Kinetic-energy block `⟨a| -½∇² |b⟩`.
+///
+/// Uses the Gaussian differentiation identity per dimension:
+/// `d²/dx² |j⟩ = 4β²|j+2⟩ − 2β(2j+1)|j⟩ + j(j−1)|j−2⟩`.
+#[must_use]
+pub fn kinetic(sa: &Shell, sb: &Shell) -> Matrix {
+    let comps_a = components(sa.l);
+    let comps_b = components(sb.l);
+    let mut out = Matrix::zeros(comps_a.len(), comps_b.len());
+    for (pa, &a) in sa.exps.iter().enumerate() {
+        for (pb, &b) in sb.exps.iter().enumerate() {
+            let p = a + b;
+            // E tables sized for j+2.
+            let e: [ETable; 3] = std::array::from_fn(|d| {
+                ETable::build(
+                    sa.l as usize,
+                    sb.l as usize + 2,
+                    a,
+                    b,
+                    sa.center[d],
+                    sb.center[d],
+                )
+            });
+            let pref = (std::f64::consts::PI / p).powf(1.5) * sa.coefs[pa] * sb.coefs[pb];
+            for (ia, ca) in comps_a.iter().enumerate() {
+                let na = primitive_norm(a, *ca);
+                for (ib, cb) in comps_b.iter().enumerate() {
+                    let nb = primitive_norm(b, *cb);
+                    let i = [ca.i as usize, ca.j as usize, ca.k as usize];
+                    let j = [cb.i as usize, cb.j as usize, cb.k as usize];
+                    // Plain 1-D overlap factors.
+                    let s = [
+                        e[0].get(i[0], j[0], 0),
+                        e[1].get(i[1], j[1], 0),
+                        e[2].get(i[2], j[2], 0),
+                    ];
+                    // 1-D kinetic factors.
+                    let mut t = [0.0f64; 3];
+                    for d in 0..3 {
+                        let jj = j[d] as f64;
+                        let mut term =
+                            -2.0 * b * b * e[d].get(i[d], j[d] + 2, 0);
+                        term += b * (2.0 * jj + 1.0) * e[d].get(i[d], j[d], 0);
+                        if j[d] >= 2 {
+                            term -= 0.5 * jj * (jj - 1.0) * e[d].get(i[d], j[d] - 2, 0);
+                        }
+                        t[d] = term;
+                    }
+                    let val = t[0] * s[1] * s[2] + s[0] * t[1] * s[2] + s[0] * s[1] * t[2];
+                    out[(ia, ib)] += pref * na * nb * val;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nuclear-attraction block `⟨a| Σ_C −Z_C/r_C |b⟩` over all atoms.
+#[must_use]
+pub fn nuclear(sa: &Shell, sb: &Shell, atoms: &[Atom]) -> Matrix {
+    let comps_a = components(sa.l);
+    let comps_b = components(sb.l);
+    let l_total = (sa.l + sb.l) as usize;
+    let mut out = Matrix::zeros(comps_a.len(), comps_b.len());
+    for (pa, &a) in sa.exps.iter().enumerate() {
+        for (pb, &b) in sb.exps.iter().enumerate() {
+            let p = a + b;
+            let pc: [f64; 3] =
+                std::array::from_fn(|d| (a * sa.center[d] + b * sb.center[d]) / p);
+            let e: [ETable; 3] = std::array::from_fn(|d| {
+                ETable::build(
+                    sa.l as usize,
+                    sb.l as usize,
+                    a,
+                    b,
+                    sa.center[d],
+                    sb.center[d],
+                )
+            });
+            let pref = 2.0 * std::f64::consts::PI / p * sa.coefs[pa] * sb.coefs[pb];
+            for atom in atoms {
+                let pq = [
+                    pc[0] - atom.pos[0],
+                    pc[1] - atom.pos[1],
+                    pc[2] - atom.pos[2],
+                ];
+                let r = RTable::build(l_total, p, pq);
+                for (ia, ca) in comps_a.iter().enumerate() {
+                    let na = primitive_norm(a, *ca);
+                    for (ib, cb) in comps_b.iter().enumerate() {
+                        let nb = primitive_norm(b, *cb);
+                        let mut sum = 0.0;
+                        for t in 0..=(ca.i + cb.i) as usize {
+                            let ex = e[0].get(ca.i as usize, cb.i as usize, t);
+                            if ex == 0.0 {
+                                continue;
+                            }
+                            for u in 0..=(ca.j + cb.j) as usize {
+                                let ey = e[1].get(ca.j as usize, cb.j as usize, u);
+                                if ey == 0.0 {
+                                    continue;
+                                }
+                                for v in 0..=(ca.k + cb.k) as usize {
+                                    let ez = e[2].get(ca.k as usize, cb.k as usize, v);
+                                    if ez == 0.0 {
+                                        continue;
+                                    }
+                                    sum += ex * ey * ez * r.get(t, u, v);
+                                }
+                            }
+                        }
+                        out[(ia, ib)] -= pref * f64::from(atom.z) * na * nb * sum;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Overlap assembly shared with [`overlap`].
+fn one_electron(sa: &Shell, sb: &Shell) -> Matrix {
+    let comps_a = components(sa.l);
+    let comps_b = components(sb.l);
+    let mut out = Matrix::zeros(comps_a.len(), comps_b.len());
+    for (pa, &a) in sa.exps.iter().enumerate() {
+        for (pb, &b) in sb.exps.iter().enumerate() {
+            let p = a + b;
+            let e: [ETable; 3] = std::array::from_fn(|d| {
+                ETable::build(
+                    sa.l as usize,
+                    sb.l as usize,
+                    a,
+                    b,
+                    sa.center[d],
+                    sb.center[d],
+                )
+            });
+            let pref = (std::f64::consts::PI / p).powf(1.5) * sa.coefs[pa] * sb.coefs[pb];
+            for (ia, ca) in comps_a.iter().enumerate() {
+                let na = primitive_norm(a, *ca);
+                for (ib, cb) in comps_b.iter().enumerate() {
+                    let nb = primitive_norm(b, *cb);
+                    let val = e[0].get(ca.i as usize, cb.i as usize, 0)
+                        * e[1].get(ca.j as usize, cb.j as usize, 0)
+                        * e[2].get(ca.k as usize, cb.k as usize, 0);
+                    out[(ia, ib)] += pref * na * nb * val;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s_shell(center: [f64; 3], exp: f64) -> Shell {
+        Shell {
+            center,
+            l: 0,
+            exps: vec![exp],
+            coefs: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn self_overlap_of_normalized_primitive_is_one() {
+        for l in 0..=3u32 {
+            let sh = Shell {
+                center: [0.3, -0.2, 0.8],
+                l,
+                exps: vec![0.77],
+                coefs: vec![1.0],
+            };
+            let s = overlap(&sh, &sh);
+            // Diagonal entries are 1 for every Cartesian component.
+            for i in 0..sh.size() {
+                assert!(
+                    (s[(i, i)] - 1.0).abs() < 1e-12,
+                    "l={l} comp {i}: {}",
+                    s[(i, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_decays_with_distance() {
+        let a = s_shell([0.0; 3], 1.0);
+        let mut last = 1.1;
+        for d in [0.0, 1.0, 2.0, 4.0] {
+            let b = s_shell([0.0, 0.0, d], 1.0);
+            let s = overlap(&a, &b)[(0, 0)];
+            assert!(s < last, "distance {d}");
+            // s-s overlap closed form: exp(-q d^2) with q = 0.5.
+            let expect = (-0.5 * d * d).exp();
+            assert!((s - expect).abs() < 1e-12, "d={d}: {s} vs {expect}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn kinetic_s_gaussian_closed_form() {
+        // ⟨s|−½∇²|s⟩ for same-centre normalized s Gaussians with equal
+        // exponents a: T = 3a/2 · ... exact: T = 3·a·b/(a+b)·(3 - 2ab d²/(a+b))/...
+        // For a == b, d = 0: T = 3a/2 · (ab/(a+b))·2/a... Known: T = 3ab/(a+b)
+        // for normalized s-primitives at the same centre... check numerically
+        // against finite differences of the overlap instead: T(a,b) =
+        // -1/2 d²/dx²-sum; use the exact closed form 3ab/(a+b) ·
+        // [1] (standard result).
+        let a = 0.9;
+        let b = 1.7;
+        let sa = s_shell([0.0; 3], a);
+        let sb = s_shell([0.0; 3], b);
+        let t = kinetic(&sa, &sb)[(0, 0)];
+        let s = overlap(&sa, &sb)[(0, 0)];
+        let expect = 3.0 * a * b / (a + b) * s;
+        assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn kinetic_positive_diagonal() {
+        for l in 0..=2u32 {
+            let sh = Shell {
+                center: [0.0; 3],
+                l,
+                exps: vec![1.1],
+                coefs: vec![1.0],
+            };
+            let t = kinetic(&sh, &sh);
+            for i in 0..sh.size() {
+                assert!(t[(i, i)] > 0.0, "l={l} comp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nuclear_attraction_hydrogen_like() {
+        // ⟨s|−1/r|s⟩ for a normalized s Gaussian centred on the nucleus:
+        // V = −Z·2·√(a·2/π)... closed form: V = −Z √(4a/(2π))·2 =
+        // −2Z√(a/(2π))·√2 = −2 Z sqrt(2a/pi^...). Use the standard result
+        // V = −Z·2√(2a/π)·... Simplest independent check: compare with
+        // numerical radial quadrature.
+        let a = 1.3;
+        let sh = s_shell([0.0; 3], a);
+        let atom = Atom {
+            z: 1,
+            pos: [0.0; 3],
+        };
+        let v = nuclear(&sh, &sh, &[atom])[(0, 0)];
+        // Numerical: ∫ |N e^{-a r²}|² (1/r) 4π r² dr, N² = (2a/π)^{3/2}.
+        let n2 = (2.0 * a / std::f64::consts::PI).powf(1.5);
+        let steps = 200_000;
+        let rmax = 12.0;
+        let h = rmax / steps as f64;
+        let mut integral = 0.0;
+        for k in 1..=steps {
+            let r = k as f64 * h;
+            integral += (-2.0 * a * r * r).exp() * r * h;
+        }
+        let expect = -n2 * 4.0 * std::f64::consts::PI * integral;
+        assert!((v - expect).abs() < 1e-6 * expect.abs(), "{v} vs {expect}");
+    }
+
+    #[test]
+    fn nuclear_attraction_scales_with_charge() {
+        let sh = s_shell([0.0; 3], 0.8);
+        let v1 = nuclear(
+            &sh,
+            &sh,
+            &[Atom {
+                z: 1,
+                pos: [0.0, 0.0, 1.0],
+            }],
+        )[(0, 0)];
+        let v6 = nuclear(
+            &sh,
+            &sh,
+            &[Atom {
+                z: 6,
+                pos: [0.0, 0.0, 1.0],
+            }],
+        )[(0, 0)];
+        assert!((v6 - 6.0 * v1).abs() < 1e-12);
+        assert!(v1 < 0.0);
+    }
+
+    #[test]
+    fn hermiticity_of_all_blocks() {
+        let sa = Shell {
+            center: [0.0, 0.1, -0.2],
+            l: 1,
+            exps: vec![0.9, 0.3],
+            coefs: vec![0.7, 0.4],
+        };
+        let sb = Shell {
+            center: [1.0, -0.4, 0.6],
+            l: 2,
+            exps: vec![0.5],
+            coefs: vec![1.0],
+        };
+        let atoms = [Atom {
+            z: 8,
+            pos: [0.5, 0.0, 0.0],
+        }];
+        let ab_s = overlap(&sa, &sb);
+        let ba_s = overlap(&sb, &sa);
+        let ab_t = kinetic(&sa, &sb);
+        let ba_t = kinetic(&sb, &sa);
+        let ab_v = nuclear(&sa, &sb, &atoms);
+        let ba_v = nuclear(&sb, &sa, &atoms);
+        for i in 0..sa.size() {
+            for j in 0..sb.size() {
+                assert!((ab_s[(i, j)] - ba_s[(j, i)]).abs() < 1e-12);
+                assert!((ab_t[(i, j)] - ba_t[(j, i)]).abs() < 1e-11);
+                assert!((ab_v[(i, j)] - ba_v[(j, i)]).abs() < 1e-11);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the quantum-chemistry substrate: physical
+//! invariants of the integral engine that must hold for arbitrary shells
+//! and geometries.
+
+use proptest::prelude::*;
+use qchem::basis::Shell;
+use qchem::boys::boys_vec;
+use qchem::md::eri_block;
+use qchem::molecule::Atom;
+use qchem::oneint::{kinetic, nuclear, overlap};
+
+fn shell_strategy(max_l: u32) -> impl Strategy<Value = Shell> {
+    (
+        0..=max_l,
+        prop::array::uniform3(-3.0..3.0f64),
+        0.2..3.0f64,
+    )
+        .prop_map(|(l, center, exp)| Shell {
+            center,
+            l,
+            exps: vec![exp],
+            coefs: vec![1.0],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boys_is_positive_decreasing_in_n(x in 0.0..300.0f64) {
+        let v = boys_vec(16, x);
+        for n in 0..16 {
+            prop_assert!(v[n] > 0.0);
+            prop_assert!(v[n] >= v[n + 1], "F_{} < F_{} at x={}", n, n + 1, x);
+        }
+    }
+
+    #[test]
+    fn boys_recurrence_consistency(x in 0.0..200.0f64) {
+        // F_{n}(x) = (2x F_{n+1}(x) + e^{-x}) / (2n+1) must hold between
+        // adjacent orders of the same evaluation.
+        let v = boys_vec(10, x);
+        let emx = (-x).exp();
+        for n in 0..10 {
+            let lhs = v[n] * (2 * n + 1) as f64;
+            let rhs = 2.0 * x * v[n + 1] + emx;
+            prop_assert!((lhs - rhs).abs() <= 1e-12 * lhs.abs().max(1e-300));
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded(
+        sa in shell_strategy(2),
+        sb in shell_strategy(2),
+    ) {
+        let ab = overlap(&sa, &sb);
+        let ba = overlap(&sb, &sa);
+        for i in 0..sa.size() {
+            for j in 0..sb.size() {
+                prop_assert!((ab[(i, j)] - ba[(j, i)]).abs() < 1e-12);
+                // Cauchy-Schwarz for normalized primitives.
+                prop_assert!(ab[(i, j)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kinetic_diagonal_positive(sh in shell_strategy(2)) {
+        let t = kinetic(&sh, &sh);
+        for i in 0..sh.size() {
+            prop_assert!(t[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn nuclear_attraction_negative_on_diagonal(
+        sh in shell_strategy(2),
+        atom_pos in prop::array::uniform3(-4.0..4.0f64),
+    ) {
+        let atoms = [Atom { z: 6, pos: atom_pos }];
+        let v = nuclear(&sh, &sh, &atoms);
+        for i in 0..sh.size() {
+            prop_assert!(v[(i, i)] < 0.0, "diagonal attraction must be negative");
+        }
+    }
+
+    #[test]
+    fn eri_bra_ket_swap_symmetry(
+        sa in shell_strategy(1),
+        sb in shell_strategy(1),
+    ) {
+        // (aa|bb) == (bb|aa) element-wise under the index swap.
+        let ab = eri_block(&sa, &sa, &sb, &sb);
+        let ba = eri_block(&sb, &sb, &sa, &sa);
+        let (na, nb) = (sa.size(), sb.size());
+        for i in 0..na {
+            for j in 0..na {
+                for k in 0..nb {
+                    for l in 0..nb {
+                        let v1 = ab[((i * na + j) * nb + k) * nb + l];
+                        let v2 = ba[((k * nb + l) * na + i) * na + j];
+                        prop_assert!(
+                            (v1 - v2).abs() <= 1e-10 * v1.abs().max(1e-10),
+                            "({i}{j}|{k}{l}): {v1} vs {v2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eri_diagonal_positive(sh in shell_strategy(1)) {
+        // (ab|ab) with a == b: every diagonal element (ii|ii) is a
+        // self-repulsion energy and must be positive.
+        let block = eri_block(&sh, &sh, &sh, &sh);
+        let n = sh.size();
+        for i in 0..n {
+            for j in 0..n {
+                let v = block[((i * n + j) * n + i) * n + j];
+                prop_assert!(v > 0.0, "(ij|ij) = {v} at i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn eri_schwarz_inequality(
+        sa in shell_strategy(1),
+        sb in shell_strategy(1),
+        sc in shell_strategy(1),
+        sd in shell_strategy(1),
+    ) {
+        // |(ab|cd)| <= sqrt((ab|ab)) sqrt((cd|cd)) element-wise.
+        let abcd = eri_block(&sa, &sb, &sc, &sd);
+        let abab = eri_block(&sa, &sb, &sa, &sb);
+        let cdcd = eri_block(&sc, &sd, &sc, &sd);
+        let (na, nb, nc, nd) = (sa.size(), sb.size(), sc.size(), sd.size());
+        for i in 0..na {
+            for j in 0..nb {
+                for k in 0..nc {
+                    for l in 0..nd {
+                        let v = abcd[((i * nb + j) * nc + k) * nd + l].abs();
+                        let qab = abab[((i * nb + j) * na + i) * nb + j].max(0.0).sqrt();
+                        let qcd = cdcd[((k * nd + l) * nc + k) * nd + l].max(0.0).sqrt();
+                        prop_assert!(
+                            v <= qab * qcd * (1.0 + 1e-8) + 1e-13,
+                            "schwarz violated: |({i}{j}|{k}{l})| = {v} > {}",
+                            qab * qcd
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eri_translation_invariance(
+        sa in shell_strategy(1),
+        sb in shell_strategy(1),
+        shift in prop::array::uniform3(-5.0..5.0f64),
+    ) {
+        // Rigidly translating all centres leaves every ERI unchanged.
+        let translate = |s: &Shell| Shell {
+            center: [
+                s.center[0] + shift[0],
+                s.center[1] + shift[1],
+                s.center[2] + shift[2],
+            ],
+            l: s.l,
+            exps: s.exps.clone(),
+            coefs: s.coefs.clone(),
+        };
+        let a = eri_block(&sa, &sb, &sa, &sb);
+        let b = eri_block(
+            &translate(&sa),
+            &translate(&sb),
+            &translate(&sa),
+            &translate(&sb),
+        );
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() <= 1e-9 * x.abs().max(1e-12));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the SZ-style baseline: the error-bound contract
+//! must hold on arbitrary finite data, and the codec must never panic on
+//! its own (possibly bit-flipped) streams.
+
+use proptest::prelude::*;
+use sz_lossy::SzCompressor;
+
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -1e-5..1e-5f64,
+        2 => -1.0..1.0f64,
+        1 => -1e15..1e15f64,
+        1 => -1e-200..1e-200f64,
+        1 => Just(0.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn error_bound_holds(
+        eb_exp in -13i32..-3,
+        data in proptest::collection::vec(value_strategy(), 0..2000),
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let c = SzCompressor::new(eb);
+        let back = c.decompress(&c.compress(&data)).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= eb, "{} vs {} (eb {})", a, b, eb);
+        }
+    }
+
+    #[test]
+    fn non_finite_roundtrip(
+        data in proptest::collection::vec(
+            prop_oneof![
+                4 => -1e3..1e3f64,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+                1 => Just(f64::NEG_INFINITY),
+            ],
+            0..300,
+        ),
+    ) {
+        let c = SzCompressor::new(1e-8);
+        let back = c.decompress(&c.compress(&data)).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            if a.is_finite() {
+                prop_assert!((a - b).abs() <= 1e-8);
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        data in proptest::collection::vec(-1.0..1.0f64, 16..200),
+        byte in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let c = SzCompressor::new(1e-9);
+        let mut bytes = c.compress(&data);
+        let idx = byte % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = sz_lossy::decompress(&bytes); // Ok or Err; no panic
+    }
+
+    #[test]
+    fn determinism(data in proptest::collection::vec(-1e-3..1e-3f64, 0..500)) {
+        let c = SzCompressor::new(1e-10);
+        prop_assert_eq!(c.compress(&data), c.compress(&data));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the ZFP-style baseline: tolerance contract on
+//! arbitrary finite data, bit-exact non-finite handling, corruption
+//! robustness, determinism.
+
+use proptest::prelude::*;
+use zfp_lossy::ZfpCompressor;
+
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -1e-5..1e-5f64,
+        2 => -1.0..1.0f64,
+        1 => -1e15..1e15f64,
+        1 => -1e-200..1e-200f64,
+        1 => Just(0.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tolerance_holds(
+        tol_exp in -13i32..-3,
+        data in proptest::collection::vec(value_strategy(), 0..2000),
+    ) {
+        let tol = 10f64.powi(tol_exp);
+        let c = ZfpCompressor::new(tol);
+        let back = c.decompress(&c.compress(&data)).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {} (tol {})", a, b, tol);
+        }
+    }
+
+    #[test]
+    fn non_finite_blocks_verbatim(
+        data in proptest::collection::vec(
+            prop_oneof![
+                4 => -1e3..1e3f64,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+            ],
+            0..300,
+        ),
+    ) {
+        let c = ZfpCompressor::new(1e-8);
+        let back = c.decompress(&c.compress(&data)).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            if a.is_finite() {
+                // A finite value sharing a block with a non-finite one is
+                // stored verbatim too, so it is at least within tolerance.
+                prop_assert!((a - b).abs() <= 1e-8);
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        data in proptest::collection::vec(-1.0..1.0f64, 16..200),
+        byte in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let c = ZfpCompressor::new(1e-9);
+        let mut bytes = c.compress(&data);
+        let idx = byte % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = zfp_lossy::decompress(&bytes);
+    }
+
+    #[test]
+    fn determinism(data in proptest::collection::vec(-1e-3..1e-3f64, 0..500)) {
+        let c = ZfpCompressor::new(1e-10);
+        prop_assert_eq!(c.compress(&data), c.compress(&data));
+    }
+}

@@ -1,0 +1,124 @@
+//! Domain scenario: a real Hartree–Fock calculation running on
+//! PaSTRI-compressed two-electron integrals.
+//!
+//! This is the paper's motivating application executed end-to-end with no
+//! mocks: the STO-3G water molecule, analytic integrals from the
+//! McMurchie–Davidson engine, and an SCF driver whose Fock builds pull
+//! the ERI tensor through PaSTRI decompression on *every* iteration. The
+//! converged energy must match the exact-integral calculation to within
+//! the propagated error bound — and does, to sub-microhartree.
+//!
+//! ```sh
+//! cargo run --release --example scf_compressed_integrals
+//! ```
+
+use pastri::{BlockGeometry, Compressor};
+use qchem::scf::{run_rhf, systems, EriSource, HfSystem, InMemoryEri, ScfOptions};
+
+/// ERI source that stores only the PaSTRI container and decompresses on
+/// each Fock build — the "compressed ERIs fit in memory" scenario from
+/// the paper's Sec. III ("compressed ERIs can even fit in the system
+/// memory, which can dramatically increase the speed").
+struct CompressedEri {
+    compressor: Compressor,
+    bytes: Vec<u8>,
+    decompressions: std::cell::Cell<usize>,
+}
+
+impl CompressedEri {
+    fn new(tensor: &[f64], eb: f64) -> Self {
+        // Geometry choice for a generic n^4 tensor: one block per (μν)
+        // pair-row works well because (μν|··) slices factor like the
+        // paper's sub-blocks.
+        let n4 = tensor.len();
+        let n2 = (n4 as f64).sqrt().round() as usize;
+        let compressor = Compressor::new(BlockGeometry::new(n2, n2), eb);
+        Self {
+            compressor,
+            bytes: compressor.compress(tensor),
+            decompressions: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl EriSource for CompressedEri {
+    fn tensor(&self) -> Vec<f64> {
+        self.decompressions.set(self.decompressions.get() + 1);
+        self.compressor.decompress(&self.bytes).expect("valid container")
+    }
+}
+
+fn main() {
+    let eb = 1e-10;
+    let molecule = systems::water();
+    let sys = HfSystem::sto3g(&molecule);
+    println!(
+        "system: {} — {} atoms, {} shells, {} basis functions, {} electrons",
+        molecule.name,
+        sys.atoms.len(),
+        sys.shells.len(),
+        sys.nbf(),
+        sys.n_electrons
+    );
+
+    // Exact integrals once.
+    let tensor = sys.eri_tensor();
+    let raw_bytes = tensor.len() * 8;
+    println!("ERI tensor: {} values ({} bytes raw)", tensor.len(), raw_bytes);
+
+    // Reference SCF with exact integrals.
+    let exact = run_rhf(&sys, &InMemoryEri(tensor.clone()), ScfOptions::default());
+    println!(
+        "\nexact ERIs:      E = {:.8} hartree in {} iterations (converged: {})",
+        exact.energy, exact.iterations, exact.converged
+    );
+
+    // SCF with compressed integrals.
+    let compressed = CompressedEri::new(&tensor, eb);
+    println!(
+        "PaSTRI container: {} bytes (ratio {:.2}x at EB = {eb:.0e})",
+        compressed.bytes.len(),
+        raw_bytes as f64 / compressed.bytes.len() as f64
+    );
+    let lossy = run_rhf(&sys, &compressed, ScfOptions::default());
+    println!(
+        "compressed ERIs: E = {:.8} hartree in {} iterations (converged: {}, {} decompressions)",
+        lossy.energy,
+        lossy.iterations,
+        lossy.converged,
+        compressed.decompressions.get()
+    );
+
+    let de = (exact.energy - lossy.energy).abs();
+    println!("\n|ΔE| = {de:.3e} hartree");
+    assert!(exact.converged && lossy.converged);
+    // The energy error from EB-bounded integrals is far below chemical
+    // accuracy (1.6e-3 hartree); demand microhartree agreement.
+    assert!(de < 1e-6, "energy drifted by {de}");
+    // Orbital energies agree too.
+    for (a, b) in exact.orbital_energies.iter().zip(&lossy.orbital_energies) {
+        assert!((a - b).abs() < 1e-6);
+    }
+    println!(
+        "SCF on compressed integrals reproduces the exact result to {de:.1e} hartree \
+         — far inside chemical accuracy."
+    );
+
+    // Post-HF epilogue (the paper's introduction: "post-Hartree-Fock
+    // methods need to assemble molecular integrals from ERIs. Compressing
+    // and storing the latter can lead to considerable speedup"): MP2 from
+    // the same compressed tensor.
+    let mp2_exact = qchem::mp2::mp2_correlation(&exact, &tensor);
+    let mp2_lossy = qchem::mp2::mp2_correlation(&lossy, &compressed.tensor());
+    println!(
+        "\nMP2 correlation: exact {mp2_exact:.8}, from compressed ERIs {mp2_lossy:.8} \
+         (|Δ| = {:.1e})",
+        (mp2_exact - mp2_lossy).abs()
+    );
+    assert!((mp2_exact - mp2_lossy).abs() < 1e-6);
+    println!(
+        "E(MP2) total = {:.8} hartree — the post-HF pipeline runs off the same \
+         compressed integral store.",
+        lossy.energy + mp2_lossy
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the PaSTRI reproduction suite.
+//!
+//! This root package exists to host the workspace-wide `examples/` and
+//! `tests/`; the functionality lives in the member crates. Start from
+//! [`pastri`] (the compressor), [`qchem`] (the integral engine and SCF),
+//! and the `bench` crate's figure binaries. See README.md, DESIGN.md, and
+//! EXPERIMENTS.md at the repository root.
+
+pub use eri_store;
+pub use lossless;
+pub use pastri;
+pub use pfs_sim;
+pub use qchem;
+pub use sz_lossy;
+pub use zcheck;
+pub use zfp_lossy;

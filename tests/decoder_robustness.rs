@@ -1,0 +1,72 @@
+//! Fuzz-style robustness: every decoder in the workspace must return an
+//! error (never panic, hang, or blow up memory) on arbitrary byte soup —
+//! with and without valid-looking magic prefixes.
+
+use proptest::prelude::*;
+
+fn soup() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..4096)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pastri_decoder_never_panics(mut bytes in soup(), with_magic in any::<bool>()) {
+        if with_magic && bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"PSTR");
+        }
+        let _ = pastri::decompress(&bytes);
+        let _ = pastri::inspect(&bytes);
+    }
+
+    #[test]
+    fn pastri_stream_decoder_never_panics(mut bytes in soup(), with_magic in any::<bool>()) {
+        if with_magic && bytes.len() >= 6 {
+            bytes[..6].copy_from_slice(b"PSTRS\x01");
+        }
+        if let Ok(mut r) = pastri::stream::StreamReader::new(bytes.as_slice()) {
+            // Bounded iteration: corrupted streams must terminate.
+            for _ in 0..64 {
+                match r.next_segment() {
+                    Ok(Some(_)) => {}
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sz_decoder_never_panics(mut bytes in soup(), with_magic in any::<bool>()) {
+        if with_magic && bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"SZ1D");
+        }
+        let _ = sz_lossy::decompress(&bytes);
+    }
+
+    #[test]
+    fn zfp_decoder_never_panics(mut bytes in soup(), with_magic in any::<bool>()) {
+        if with_magic && bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"ZFP1");
+        }
+        let _ = zfp_lossy::decompress(&bytes);
+    }
+
+    #[test]
+    fn lossless_decoders_never_panic(mut bytes in soup(), kind in 0u8..2) {
+        match kind {
+            0 => {
+                if bytes.len() >= 4 {
+                    bytes[..4].copy_from_slice(b"FPC0");
+                }
+                let _ = lossless::fpc::decompress(&bytes);
+            }
+            _ => {
+                if bytes.len() >= 4 {
+                    bytes[..4].copy_from_slice(b"DFL0");
+                }
+                let _ = lossless::deflate_like::decompress(&bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration: restricted Hartree–Fock on PaSTRI-compressed integrals
+//! converges to the exact-integral result — the paper's application as a
+//! regression test (the runnable demo is
+//! `examples/scf_compressed_integrals.rs`).
+
+use pastri::{BlockGeometry, Compressor};
+use qchem::scf::{run_rhf, systems, EriSource, HfSystem, InMemoryEri, ScfOptions};
+
+struct CompressedEri {
+    compressor: Compressor,
+    bytes: Vec<u8>,
+}
+
+impl CompressedEri {
+    fn new(tensor: &[f64], eb: f64) -> Self {
+        let n2 = (tensor.len() as f64).sqrt().round() as usize;
+        let compressor = Compressor::new(BlockGeometry::new(n2, n2), eb);
+        Self {
+            bytes: compressor.compress(tensor),
+            compressor,
+        }
+    }
+}
+
+impl EriSource for CompressedEri {
+    fn tensor(&self) -> Vec<f64> {
+        self.compressor.decompress(&self.bytes).expect("valid container")
+    }
+}
+
+#[test]
+fn water_scf_on_compressed_integrals_matches_exact() {
+    let sys = HfSystem::sto3g(&systems::water());
+    let tensor = sys.eri_tensor();
+    let exact = run_rhf(&sys, &InMemoryEri(tensor.clone()), ScfOptions::default());
+    assert!(exact.converged);
+
+    for eb in [1e-8, 1e-10, 1e-12] {
+        let compressed = CompressedEri::new(&tensor, eb);
+        let lossy = run_rhf(&sys, &compressed, ScfOptions::default());
+        assert!(lossy.converged, "eb {eb:e}: SCF diverged");
+        let de = (exact.energy - lossy.energy).abs();
+        // Energy error scales with the integral bound; even the loosest
+        // bound stays far inside chemical accuracy (1.6e-3 hartree).
+        assert!(de < 1e-4, "eb {eb:e}: energy drift {de:e}");
+        if eb <= 1e-10 {
+            assert!(de < 1e-6, "eb {eb:e}: energy drift {de:e}");
+        }
+    }
+}
+
+#[test]
+fn h2_dissociation_curve_shape_survives_compression() {
+    // A small potential-energy scan: compressed integrals must preserve
+    // the curve's shape (minimum near 1.4 a0, repulsive wall, dissociation
+    // rise) because each point's energy moves by ≪ the curve's features.
+    let mut energies_exact = Vec::new();
+    let mut energies_lossy = Vec::new();
+    for &r in &[1.0f64, 1.4, 2.0, 3.0] {
+        let mol = qchem::molecule::Molecule {
+            name: "H2",
+            atoms: vec![
+                qchem::molecule::Atom { z: 1, pos: [0.0; 3] },
+                qchem::molecule::Atom { z: 1, pos: [0.0, 0.0, r] },
+            ],
+        };
+        let sys = HfSystem::sto3g(&mol);
+        let tensor = sys.eri_tensor();
+        let exact = run_rhf(&sys, &InMemoryEri(tensor.clone()), ScfOptions::default());
+        let lossy = run_rhf(&sys, &CompressedEri::new(&tensor, 1e-10), ScfOptions::default());
+        assert!(exact.converged && lossy.converged, "r = {r}");
+        energies_exact.push(exact.energy);
+        energies_lossy.push(lossy.energy);
+    }
+    // Pointwise agreement.
+    for (a, b) in energies_exact.iter().zip(&energies_lossy) {
+        assert!((a - b).abs() < 1e-6);
+    }
+    // Shape: minimum at 1.4 among the sampled points.
+    let emin = energies_lossy
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(energies_lossy[1], emin, "minimum must be at r = 1.4");
+    assert!(energies_lossy[0] > emin + 0.01, "repulsive wall");
+    assert!(energies_lossy[3] > emin + 0.05, "dissociation rise");
+}
