@@ -1,0 +1,156 @@
+//! Sequential stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the workspace vendors the *subset* of rayon's API it
+//! actually uses, implemented on top of ordinary `std` iterators. The
+//! "parallel" adaptors return the corresponding sequential iterator, so
+//! all call sites type-check and behave identically — they just run on
+//! one thread. Swapping the real rayon back in requires only a manifest
+//! change; no source edits.
+
+/// Extension trait mirroring `rayon::iter::IntoParallelIterator`.
+///
+/// Returns the ordinary sequential iterator; every std iterator adaptor
+/// (`map`, `zip`, `enumerate`, `collect`, `for_each`, …) then works as the
+/// rayon equivalent would.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Sequential stand-in for `into_par_iter`.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Extension trait mirroring rayon's `par_iter`/`par_chunks` on slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential stand-in for `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Extension trait mirroring rayon's `par_iter_mut`/`par_chunks_mut`.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Never actually produced by
+/// this stand-in; exists so `.unwrap()` call sites compile.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder`; thread count is accepted and
+/// ignored (execution is sequential).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (informational only).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Mirrors `rayon::ThreadPool`: `install` simply runs the closure on the
+/// current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` (sequentially, on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_adaptors_behave_like_sequential() {
+        let doubled: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+
+        let v = [1, 2, 3, 4];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 10);
+
+        let mut buf = [0u32; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_installs_on_current_thread() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -93,7 +93,7 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             std::io::BufWriter::new(outfile),
             compressor,
             segment_blocks,
-        );
+        )?;
         let mut reader = std::io::BufReader::new(infile);
         let mut buf = vec![0u8; config.block_size() * 8];
         let mut total_in = 0u64;
@@ -214,6 +214,149 @@ pub fn inspect(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map(|(k, c)| format!("{k} {c}"))
         .collect();
     writeln!(out, "  blocks: {}", census.join(", "))?;
+    Ok(())
+}
+
+/// `pastri verify <file>`: scan any PaSTRI artifact — a single container
+/// (`PSTR`), a stream (`PSTRS`), or an eri-store (`ERISTOR1/2`) — and
+/// print a per-block/segment damage report. Returns an error (non-zero
+/// process exit) when any damage is found, so scripts can gate on it.
+pub fn verify(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "file")?;
+    let mut magic = [0u8; 8];
+    {
+        use std::io::Read;
+        let mut f = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+        let n = f.read(&mut magic).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+        magic[n..].fill(0);
+    }
+    if magic.starts_with(b"ERISTOR") {
+        verify_store(input, out)
+    } else if magic.starts_with(b"PSTRS") {
+        verify_stream(input, out)
+    } else if magic.starts_with(b"PSTR") {
+        verify_container(input, out)
+    } else {
+        Err(CliError::new(format!(
+            "{input}: not a PaSTRI container, stream, or store (unknown magic)"
+        )))
+    }
+}
+
+fn damage_verdict(input: &str, damaged: usize, total: usize, unit: &str) -> Result<(), CliError> {
+    if damaged == 0 {
+        Ok(())
+    } else {
+        Err(CliError::new(format!(
+            "{input}: {damaged} of {total} {unit}(s) damaged"
+        )))
+    }
+}
+
+fn verify_container(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
+    let decoded = pastri::decompress_lossy(&bytes)
+        .map_err(|e| CliError::new(format!("{input}: unrecoverable header damage: {e}")))?;
+    let total = decoded.outcomes.len();
+    writeln!(
+        out,
+        "{input}: PaSTRI container, {} blocks, {} damaged",
+        total,
+        decoded.damaged()
+    )?;
+    for o in &decoded.outcomes {
+        if let Some(e) = &o.error {
+            writeln!(out, "  block {} (offset {}): {e}", o.block, o.offset)?;
+        }
+    }
+    damage_verdict(input, decoded.damaged(), total, "block")
+}
+
+fn verify_stream(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let file = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let mut reader = pastri::stream::StreamReader::new(std::io::BufReader::new(file))
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let mut damaged: Vec<String> = Vec::new();
+    let mut total = 0usize;
+    let mut tail_lost = false;
+    loop {
+        match reader.next_segment_or_skip() {
+            Ok(Some(seg)) => {
+                total += 1;
+                if let Err(e) = &seg.values {
+                    damaged.push(format!("  segment {}: {e}", seg.index));
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Framing damage: the rest of the stream is unreadable.
+                damaged.push(format!("  segment {total}: framing lost ({e})"));
+                tail_lost = true;
+                break;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{input}: PaSTRI stream, {total} segment(s) scanned, {} damaged{}",
+        damaged.len(),
+        if tail_lost { ", tail unreadable" } else { "" }
+    )?;
+    for line in &damaged {
+        writeln!(out, "{line}")?;
+    }
+    damage_verdict(input, damaged.len(), total.max(damaged.len()), "segment")
+}
+
+fn verify_store(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut store = eri_store::StoreReader::open(std::path::Path::new(input))
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let report = store
+        .verify()
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    writeln!(
+        out,
+        "{input}: ERI store v{}, {} block(s) scanned, {} damaged",
+        store.version(),
+        report.blocks,
+        report.damaged.len()
+    )?;
+    for d in &report.damaged {
+        writeln!(out, "  block {} (offset {}): {}", d.block, d.offset, d.error)?;
+    }
+    damage_verdict(input, report.damaged.len(), report.blocks, "block")
+}
+
+/// `pastri salvage <in.pstrs> <out.pstrs>`: rewrite a damaged stream,
+/// keeping every intact segment byte-for-byte and dropping the rest.
+/// Succeeds (exit 0) even when segments had to be dropped — the point is
+/// that the *output* verifies clean afterwards.
+pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "in.pstrs")?;
+    let output = args.positional(1, "out.pstrs")?;
+    let infile = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let outfile = fs::File::create(output).map_err(|e| CliError::new(format!("{output}: {e}")))?;
+    let report = pastri::stream::salvage(
+        std::io::BufReader::new(infile),
+        std::io::BufWriter::new(outfile),
+    )
+    .map_err(|e| CliError::new(format!("salvaging {input}: {e}")))?;
+    writeln!(
+        out,
+        "{input} -> {output}: kept {} segment(s), dropped {}{}",
+        report.kept,
+        report.dropped.len(),
+        if report.tail_lost {
+            " (framing damage: tail lost)"
+        } else {
+            ""
+        }
+    )?;
+    for (index, err) in &report.dropped {
+        writeln!(out, "  dropped segment {index}: {err}")?;
+    }
     Ok(())
 }
 
@@ -352,6 +495,85 @@ mod tests {
         }
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("streamed"), "{text}");
+    }
+
+    #[test]
+    fn verify_and_salvage_damaged_stream() {
+        let dir = tmpdir();
+        let raw = dir.join("v.f64").to_string_lossy().into_owned();
+        let comp = dir.join("v.pstrs").to_string_lossy().into_owned();
+        let fixed = dir.join("v-fixed.pstrs").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "8", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(
+            &sv(&[
+                &raw, &comp, "--config", "dddd", "--stream", "--segment-blocks", "2",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+
+        // Clean stream verifies with exit 0.
+        verify(&sv(&[&comp]), &mut Vec::new()).unwrap();
+
+        // Flip one bit deep inside a segment payload.
+        let mut bytes = fs::read(&comp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&comp, &bytes).unwrap();
+
+        // Damaged stream: verify fails with a damage report.
+        let mut report = Vec::new();
+        let err = verify(&sv(&[&comp]), &mut report).unwrap_err();
+        assert!(err.message.contains("damaged"), "{}", err.message);
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("segment"), "{text}");
+
+        // Salvage drops the damaged segment; the result verifies clean.
+        let mut out = Vec::new();
+        salvage(&sv(&[&comp, &fixed]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("dropped 1"), "{text}");
+        verify(&sv(&[&fixed]), &mut Vec::new()).unwrap();
+    }
+
+    #[test]
+    fn verify_dispatches_on_container_magic() {
+        let dir = tmpdir();
+        let raw = dir.join("c.f64").to_string_lossy().into_owned();
+        let comp = dir.join("c.pastri").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "4", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(&sv(&[&raw, &comp, "--config", "dddd"]), &mut out).unwrap();
+        verify(&sv(&[&comp]), &mut Vec::new()).unwrap();
+
+        // Damage a block payload: verify must name the block.
+        let mut bytes = fs::read(&comp).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x01;
+        fs::write(&comp, &bytes).unwrap();
+        let mut report = Vec::new();
+        let err = verify(&sv(&[&comp]), &mut report).unwrap_err();
+        assert!(err.message.contains("damaged"), "{}", err.message);
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("block"), "{text}");
+    }
+
+    #[test]
+    fn verify_rejects_unknown_magic() {
+        let dir = tmpdir();
+        let path = dir.join("junk.bin").to_string_lossy().into_owned();
+        fs::write(&path, b"not a pastri artifact").unwrap();
+        let err = verify(&sv(&[&path]), &mut Vec::new()).unwrap_err();
+        assert!(err.message.contains("unknown magic"), "{}", err.message);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! * `compress`   — raw little-endian f64 file → PaSTRI container
 //! * `decompress` — PaSTRI container → raw f64 file
 //! * `inspect`    — print container metadata and per-block-kind census
+//! * `verify`     — integrity-scan a container/stream/store; non-zero
+//!   exit with a per-block damage report when anything is corrupt
+//! * `salvage`    — rewrite a damaged stream keeping intact segments
 //! * `gen`        — generate an ERI dataset file (GAMESS stand-in)
 //! * `assess`     — compare an original and a decompressed file
 //!
@@ -55,6 +58,8 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "compress" => commands::compress(rest, out),
         "decompress" => commands::decompress(rest, out),
         "inspect" => commands::inspect(rest, out),
+        "verify" => commands::verify(rest, out),
+        "salvage" => commands::salvage(rest, out),
         "gen" => commands::generate(rest, out),
         "assess" => commands::assess(rest, out),
         "help" | "--help" | "-h" => {
@@ -78,6 +83,8 @@ USAGE:
                     [--metric ER] [--tree 5] [--stream [--segment-blocks 64]]
   pastri decompress <in.pastri> <out.f64>
   pastri inspect    <in.pastri>
+  pastri verify     <file>            (container, stream, or ERI store)
+  pastri salvage    <in.pstrs> <out.pstrs>
   pastri gen        <out.f64> --molecule benzene --config (dd|dd)
                     [--blocks 100] [--seed 0] [--cluster 1] [--model]
   pastri assess     <original.f64> <decompressed.f64>

@@ -8,47 +8,152 @@
 //! consumer can fetch exactly the quartets it needs without touching the
 //! rest of the file — the access pattern of integral-direct Fock builds.
 //!
-//! File layout:
+//! File layout (version 2, current):
 //!
 //! ```text
-//! magic            8 bytes  "ERISTOR1"
+//! magic            8 bytes  "ERISTOR2"
 //! error bound      8 bytes  f64 LE
 //! num_subblocks    8 bytes  u64 LE
 //! subblock_size    8 bytes  u64 LE
 //! num_blocks       8 bytes  u64 LE
 //! index offset     8 bytes  u64 LE  (absolute file offset of the index)
+//! header_crc32     4 bytes  u32 LE  (CRC32 of the 48 bytes above)
 //! blocks           num_blocks × PaSTRI containers, back to back
-//! index            num_blocks × (offset u64 LE, length u64 LE)
+//! index            num_blocks × (offset u64 LE, length u64 LE,
+//!                                payload_crc32 u32 LE)
+//! index_crc32      4 bytes  u32 LE  (CRC32 of the index bytes above)
 //! ```
+//!
+//! Version 1 (`"ERISTOR1"`) is the same layout minus the three CRC32
+//! fields (48-byte header, 16-byte index entries); the reader keeps it
+//! decodable. The per-entry `payload_crc32` covers the block's container
+//! bytes as written, so [`StoreReader::verify`] can certify the whole
+//! store — and [`StoreReader::read_block`] can pin damage to one block —
+//! without decompressing anything.
 //!
 //! The index is written last (after all blocks), so a writer streams
 //! blocks without knowing their sizes in advance; the fixed-size header
-//! slot for the index offset is patched on close.
+//! slots for block count and index offset are patched on close (along
+//! with the header CRC, which is computed over the final header bytes).
+//!
+//! Reads run through a [`RetryPolicy`]: transient `Interrupted` /
+//! `WouldBlock` / `TimedOut` errors — routine on congested parallel file
+//! systems — are retried with bounded exponential backoff instead of
+//! failing an SCF iteration. The reader is generic over `Read + Seek`,
+//! so tests inject faults without touching the filesystem.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::Duration;
 
+use checksum::crc32;
 use pastri::{BlockGeometry, Compressor};
 
-const MAGIC: [u8; 8] = *b"ERISTOR1";
-const HEADER_LEN: u64 = 8 + 8 + 8 + 8 + 8 + 8;
+const MAGIC_V2: [u8; 8] = *b"ERISTOR2";
+const MAGIC_V1: [u8; 8] = *b"ERISTOR1";
+/// Header bytes covered by the v2 header CRC (everything before it).
+const HEADER_BODY_LEN: u64 = 8 + 8 + 8 + 8 + 8 + 8;
+const HEADER_LEN_V1: u64 = HEADER_BODY_LEN;
+const HEADER_LEN_V2: u64 = HEADER_BODY_LEN + 4;
+const INDEX_ENTRY_V1: u64 = 16;
+const INDEX_ENTRY_V2: u64 = 20;
 
 /// Errors from the block store.
 #[derive(Debug)]
 pub enum StoreError {
     Io(std::io::Error),
-    Corrupt(&'static str),
+    /// Structurally invalid store. `block`/`offset` localize the damage
+    /// when it is attributable to one block's index entry or payload.
+    Corrupt {
+        /// Zero-based block index, when the damage is per-block.
+        block: Option<usize>,
+        /// Absolute file offset of the damaged region, if known.
+        offset: Option<u64>,
+        /// What check failed.
+        reason: &'static str,
+    },
+    /// A stored CRC32 did not match the bytes on disk.
+    Checksum {
+        /// Damaged block, or `None` for the header/index checksums.
+        block: Option<usize>,
+        /// Absolute file offset of the checksummed region, if known.
+        offset: Option<u64>,
+        /// CRC32 recorded in the store.
+        expected: u32,
+        /// CRC32 of the bytes actually read.
+        actual: u32,
+    },
     Decompress(pastri::DecompressError),
     /// Requested block index ≥ number of blocks.
     OutOfRange { index: usize, blocks: usize },
+}
+
+impl StoreError {
+    /// Corruption with no location attached yet.
+    #[must_use]
+    pub const fn corrupt(reason: &'static str) -> Self {
+        StoreError::Corrupt {
+            block: None,
+            offset: None,
+            reason,
+        }
+    }
+
+    /// Attributes a corruption/checksum error to block `b`.
+    #[must_use]
+    pub fn with_block(self, b: usize) -> Self {
+        match self {
+            StoreError::Corrupt { offset, reason, .. } => StoreError::Corrupt {
+                block: Some(b),
+                offset,
+                reason,
+            },
+            StoreError::Checksum {
+                offset,
+                expected,
+                actual,
+                ..
+            } => StoreError::Checksum {
+                block: Some(b),
+                offset,
+                expected,
+                actual,
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
-            StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            StoreError::Corrupt { block, offset, reason } => {
+                write!(f, "corrupt store: {reason}")?;
+                if let Some(b) = block {
+                    write!(f, " (block {b})")?;
+                }
+                if let Some(o) = offset {
+                    write!(f, " at offset {o}")?;
+                }
+                Ok(())
+            }
+            StoreError::Checksum {
+                block,
+                offset,
+                expected,
+                actual,
+            } => {
+                match block {
+                    Some(b) => write!(f, "checksum mismatch in block {b}")?,
+                    None => write!(f, "store metadata checksum mismatch")?,
+                }
+                if let Some(o) = offset {
+                    write!(f, " at offset {o}")?;
+                }
+                write!(f, ": stored {expected:#010x}, computed {actual:#010x}")
+            }
             StoreError::Decompress(e) => write!(f, "decompress error: {e}"),
             StoreError::OutOfRange { index, blocks } => {
                 write!(f, "block {index} out of range (store has {blocks})")
@@ -71,11 +176,91 @@ impl From<pastri::DecompressError> for StoreError {
     }
 }
 
+/// Bounded exponential backoff for transient read errors
+/// (`Interrupted`, `WouldBlock`, `TimedOut`).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Transient failures tolerated per read call before giving up.
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: transient errors surface immediately.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+fn is_transient(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf` completely, retrying transient errors per `policy`.
+///
+/// Hand-rolled rather than `Read::read_exact` because std's loop retries
+/// `Interrupted` *unboundedly* and fails every other transient kind
+/// immediately — here both are bounded and backed off.
+fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8], policy: &RetryPolicy) -> io::Result<()> {
+    let mut filled = 0usize;
+    let mut retries = 0u32;
+    let mut backoff = policy.initial_backoff;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "store ended mid-read",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                // Forward progress resets the transient budget.
+                retries = 0;
+                backoff = policy.initial_backoff;
+            }
+            Err(e) if is_transient(e.kind()) => {
+                if retries >= policy.max_retries {
+                    return Err(e);
+                }
+                retries += 1;
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Writes a block store: append blocks, then [`finish`](StoreWriter::finish).
 pub struct StoreWriter {
     file: File,
     compressor: Compressor,
-    index: Vec<(u64, u64)>,
+    index: Vec<(u64, u64, u32)>,
     cursor: u64,
 }
 
@@ -89,17 +274,15 @@ impl StoreWriter {
             .read(true)
             .truncate(true)
             .open(path)?;
-        file.write_all(&MAGIC)?;
-        file.write_all(&eb.to_le_bytes())?;
-        file.write_all(&(geometry.num_subblocks as u64).to_le_bytes())?;
-        file.write_all(&(geometry.subblock_size as u64).to_le_bytes())?;
-        file.write_all(&0u64.to_le_bytes())?; // num_blocks, patched later
-        file.write_all(&0u64.to_le_bytes())?; // index offset, patched later
+        // Placeholder header; rewritten with final values (and CRC) on
+        // finish().
+        file.write_all(&header_bytes(eb, geometry, 0, 0))?;
+        file.write_all(&0u32.to_le_bytes())?;
         Ok(Self {
             file,
             compressor: Compressor::new(geometry, eb),
             index: Vec::new(),
-            cursor: HEADER_LEN,
+            cursor: HEADER_LEN_V2,
         })
     }
 
@@ -115,80 +298,203 @@ impl StoreWriter {
         );
         let payload = self.compressor.compress(block);
         self.file.write_all(&payload)?;
-        self.index.push((self.cursor, payload.len() as u64));
+        self.index
+            .push((self.cursor, payload.len() as u64, crc32(&payload)));
         self.cursor += payload.len() as u64;
         Ok(())
     }
 
-    /// Writes the index and patches the header. Returns the block count.
+    /// Writes the checksummed index and the final header. Returns the
+    /// block count.
     pub fn finish(mut self) -> Result<usize, StoreError> {
         let index_offset = self.cursor;
-        for &(off, len) in &self.index {
-            self.file.write_all(&off.to_le_bytes())?;
-            self.file.write_all(&len.to_le_bytes())?;
+        let mut index_bytes = Vec::with_capacity(self.index.len() * INDEX_ENTRY_V2 as usize);
+        for &(off, len, crc) in &self.index {
+            index_bytes.extend_from_slice(&off.to_le_bytes());
+            index_bytes.extend_from_slice(&len.to_le_bytes());
+            index_bytes.extend_from_slice(&crc.to_le_bytes());
         }
-        self.file.seek(SeekFrom::Start(8 + 8 + 8 + 8))?;
-        self.file
-            .write_all(&(self.index.len() as u64).to_le_bytes())?;
-        self.file.write_all(&index_offset.to_le_bytes())?;
+        self.file.write_all(&index_bytes)?;
+        self.file.write_all(&crc32(&index_bytes).to_le_bytes())?;
+
+        let header = header_bytes(
+            self.compressor.error_bound(),
+            self.compressor.geometry(),
+            self.index.len() as u64,
+            index_offset,
+        );
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.write_all(&crc32(&header).to_le_bytes())?;
         self.file.flush()?;
         Ok(self.index.len())
     }
 }
 
-/// Read side: random access to stored blocks.
-pub struct StoreReader {
-    file: File,
-    geometry: BlockGeometry,
-    error_bound: f64,
-    index: Vec<(u64, u64)>,
+/// The 48 checksummed header bytes (magic through index offset).
+fn header_bytes(eb: f64, geometry: BlockGeometry, num_blocks: u64, index_offset: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(HEADER_BODY_LEN as usize);
+    h.extend_from_slice(&MAGIC_V2);
+    h.extend_from_slice(&eb.to_le_bytes());
+    h.extend_from_slice(&(geometry.num_subblocks as u64).to_le_bytes());
+    h.extend_from_slice(&(geometry.subblock_size as u64).to_le_bytes());
+    h.extend_from_slice(&num_blocks.to_le_bytes());
+    h.extend_from_slice(&index_offset.to_le_bytes());
+    h
 }
 
-impl StoreReader {
+/// One index entry: where the block's container lives, and (v2) the
+/// CRC32 of those bytes.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    offset: u64,
+    len: u64,
+    /// `None` for v1 stores (no stored checksum).
+    crc: Option<u32>,
+}
+
+/// One damaged block found by [`StoreReader::verify`].
+#[derive(Debug)]
+pub struct BlockDamage {
+    /// Zero-based block index.
+    pub block: usize,
+    /// Absolute file offset of the block's container.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub error: StoreError,
+}
+
+/// Result of a full-store scan.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Blocks scanned (the store's block count).
+    pub blocks: usize,
+    /// Every block that failed verification.
+    pub damaged: Vec<BlockDamage>,
+}
+
+impl VerifyReport {
+    /// Did every block verify?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty()
+    }
+}
+
+/// Read side: random access to stored blocks. Generic over the byte
+/// source so tests can inject I/O faults; production code uses
+/// [`StoreReader::open`], which reads from a [`File`].
+#[derive(Debug)]
+pub struct StoreReader<R: Read + Seek = File> {
+    source: R,
+    retry: RetryPolicy,
+    version: u8,
+    geometry: BlockGeometry,
+    error_bound: f64,
+    index: Vec<IndexEntry>,
+}
+
+impl StoreReader<File> {
     /// Opens a store and loads its index.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)?;
-        if header[..8] != MAGIC {
-            return Err(StoreError::Corrupt("bad magic"));
+        Self::from_source(File::open(path)?, RetryPolicy::default())
+    }
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Opens a store from any seekable byte source, retrying transient
+    /// read errors per `retry`. Validates the header (and, for v2, the
+    /// header and index checksums) and loads the index.
+    pub fn from_source(mut source: R, retry: RetryPolicy) -> Result<Self, StoreError> {
+        let file_len = source.seek(SeekFrom::End(0))?;
+        source.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; HEADER_BODY_LEN as usize];
+        read_exact_retry(&mut source, &mut header, &retry)?;
+        let version = if header[..8] == MAGIC_V2 {
+            2
+        } else if header[..8] == MAGIC_V1 {
+            1
+        } else {
+            return Err(StoreError::corrupt("bad magic"));
+        };
+        if version == 2 {
+            let mut crc_buf = [0u8; 4];
+            read_exact_retry(&mut source, &mut crc_buf, &retry)?;
+            let stored = u32::from_le_bytes(crc_buf);
+            let actual = crc32(&header);
+            if stored != actual {
+                return Err(StoreError::Checksum {
+                    block: None,
+                    offset: Some(HEADER_BODY_LEN),
+                    expected: stored,
+                    actual,
+                });
+            }
         }
+        let header_len = if version == 2 { HEADER_LEN_V2 } else { HEADER_LEN_V1 };
+        let entry_len = if version == 2 { INDEX_ENTRY_V2 } else { INDEX_ENTRY_V1 };
+
         let rd_u64 = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().unwrap());
         let eb = f64::from_le_bytes(header[8..16].try_into().unwrap());
         if !(eb.is_finite() && eb > 0.0) {
-            return Err(StoreError::Corrupt("invalid error bound"));
+            return Err(StoreError::corrupt("invalid error bound"));
         }
         let num_sb = rd_u64(16) as usize;
         let sb_size = rd_u64(24) as usize;
         if num_sb == 0 || sb_size == 0 || num_sb.saturating_mul(sb_size) > (1 << 28) {
-            return Err(StoreError::Corrupt("implausible geometry"));
+            return Err(StoreError::corrupt("implausible geometry"));
         }
         let num_blocks = rd_u64(32) as usize;
         let index_offset = rd_u64(40);
-        // Index plausibility: 16 bytes per entry must fit in the file.
-        let index_bytes = (num_blocks as u64).saturating_mul(16);
-        if index_offset < HEADER_LEN || index_offset.saturating_add(index_bytes) > file_len {
-            return Err(StoreError::Corrupt("index out of bounds"));
+        // Index plausibility: every entry must fit in the file — checked
+        // against the real file size *before* the index allocation, so a
+        // hostile block count cannot request more memory than the file
+        // could hold.
+        let index_bytes_len = (num_blocks as u64).saturating_mul(entry_len);
+        if index_offset < header_len || index_offset.saturating_add(index_bytes_len) > file_len {
+            return Err(StoreError::corrupt("index out of bounds"));
         }
-        file.seek(SeekFrom::Start(index_offset))?;
-        let mut index = Vec::with_capacity(num_blocks);
-        let mut entry = [0u8; 16];
-        for _ in 0..num_blocks {
-            file.read_exact(&mut entry)?;
-            let off = u64::from_le_bytes(entry[..8].try_into().unwrap());
-            let len = u64::from_le_bytes(entry[8..].try_into().unwrap());
-            if off < HEADER_LEN || off.saturating_add(len) > index_offset {
-                return Err(StoreError::Corrupt("block entry out of bounds"));
+        source.seek(SeekFrom::Start(index_offset))?;
+        let mut index_bytes = vec![0u8; index_bytes_len as usize];
+        read_exact_retry(&mut source, &mut index_bytes, &retry)?;
+        if version == 2 {
+            let mut crc_buf = [0u8; 4];
+            read_exact_retry(&mut source, &mut crc_buf, &retry)?;
+            let stored = u32::from_le_bytes(crc_buf);
+            let actual = crc32(&index_bytes);
+            if stored != actual {
+                return Err(StoreError::Checksum {
+                    block: None,
+                    offset: Some(index_offset),
+                    expected: stored,
+                    actual,
+                });
             }
-            index.push((off, len));
+        }
+        let mut index = Vec::with_capacity(num_blocks);
+        for (i, entry) in index_bytes.chunks_exact(entry_len as usize).enumerate() {
+            let off = u64::from_le_bytes(entry[..8].try_into().unwrap());
+            let len = u64::from_le_bytes(entry[8..16].try_into().unwrap());
+            let crc = (version == 2).then(|| u32::from_le_bytes(entry[16..20].try_into().unwrap()));
+            if off < header_len || off.saturating_add(len) > index_offset {
+                return Err(StoreError::corrupt("block entry out of bounds").with_block(i));
+            }
+            index.push(IndexEntry { offset: off, len, crc });
         }
         Ok(Self {
-            file,
+            source,
+            retry,
+            version,
             geometry: BlockGeometry::new(num_sb, sb_size),
             error_bound: eb,
             index,
         })
+    }
+
+    /// Store format version (1 = legacy checksum-free, 2 = checksummed).
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Number of stored blocks.
@@ -209,16 +515,35 @@ impl StoreReader {
         self.error_bound
     }
 
-    /// Reads and decompresses block `i` (random access: one seek + one
-    /// read of the compressed payload).
-    pub fn read_block(&mut self, i: usize) -> Result<Vec<f64>, StoreError> {
-        let &(off, len) = self.index.get(i).ok_or(StoreError::OutOfRange {
+    /// Reads block `i`'s raw container bytes and verifies its stored
+    /// CRC32 (v2).
+    fn read_block_bytes(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
+        let entry = *self.index.get(i).ok_or(StoreError::OutOfRange {
             index: i,
             blocks: self.index.len(),
         })?;
-        self.file.seek(SeekFrom::Start(off))?;
-        let mut payload = vec![0u8; len as usize];
-        self.file.read_exact(&mut payload)?;
+        self.source.seek(SeekFrom::Start(entry.offset))?;
+        let mut payload = vec![0u8; entry.len as usize];
+        read_exact_retry(&mut self.source, &mut payload, &self.retry)?;
+        if let Some(stored) = entry.crc {
+            let actual = crc32(&payload);
+            if stored != actual {
+                return Err(StoreError::Checksum {
+                    block: Some(i),
+                    offset: Some(entry.offset),
+                    expected: stored,
+                    actual,
+                });
+            }
+        }
+        Ok(payload)
+    }
+
+    /// Reads and decompresses block `i` (random access: one seek + one
+    /// read of the compressed payload). Damage is reported with the
+    /// block index and file offset attached.
+    pub fn read_block(&mut self, i: usize) -> Result<Vec<f64>, StoreError> {
+        let payload = self.read_block_bytes(i)?;
         Ok(pastri::decompress(&payload)?)
     }
 
@@ -230,11 +555,46 @@ impl StoreReader {
         }
         Ok(out)
     }
+
+    /// Scans every block and reports all damage, instead of stopping at
+    /// the first bad block like [`read_all`](Self::read_all).
+    ///
+    /// v2 blocks are certified by their stored CRC32 — bit-exact payload
+    /// bytes are exactly what the writer produced, so decodability
+    /// follows without paying for decompression. v1 blocks carry no
+    /// checksum, so they are strictly decompressed instead.
+    pub fn verify(&mut self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport {
+            blocks: self.num_blocks(),
+            damaged: Vec::new(),
+        };
+        for i in 0..self.num_blocks() {
+            let offset = self.index[i].offset;
+            let outcome = match self.read_block_bytes(i) {
+                Ok(payload) if self.version == 1 => {
+                    pastri::decompress(&payload).map(|_| ()).map_err(StoreError::from)
+                }
+                Ok(_) => Ok(()),
+                Err(e @ StoreError::Io(_)) => return Err(e), // the medium, not the data
+                Err(e) => Err(e),
+            };
+            if let Err(error) = outcome {
+                report.damaged.push(BlockDamage {
+                    block: i,
+                    offset,
+                    error,
+                });
+            }
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faults::{FaultConfig, FaultyReader};
+    use std::io::Cursor;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("eri-store-{}-{name}", std::process::id()))
@@ -251,6 +611,21 @@ mod tests {
         block
     }
 
+    /// A finished store as raw bytes, plus each block's (offset, len).
+    fn store_bytes(geom: BlockGeometry, eb: f64, blocks: &[Vec<f64>]) -> (Vec<u8>, Vec<(u64, u64)>) {
+        let path = tmp(&format!("mk-{:p}", blocks.as_ptr()));
+        let mut w = StoreWriter::create(&path, geom, eb).unwrap();
+        for b in blocks {
+            w.append_block(b).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let r = StoreReader::from_source(Cursor::new(bytes.clone()), RetryPolicy::none()).unwrap();
+        let spans = r.index.iter().map(|e| (e.offset, e.len)).collect();
+        (bytes, spans)
+    }
+
     #[test]
     fn write_read_roundtrip_random_access() {
         let path = tmp("roundtrip");
@@ -265,6 +640,7 @@ mod tests {
             assert_eq!(w.finish().unwrap(), 12);
         }
         let mut r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.version(), 2);
         assert_eq!(r.num_blocks(), 12);
         assert_eq!(r.geometry(), geom);
         assert_eq!(r.error_bound(), eb);
@@ -279,6 +655,7 @@ mod tests {
         // Full stream.
         let all = r.read_all().unwrap();
         assert_eq!(all.len(), 12 * geom.block_size());
+        assert!(r.verify().unwrap().is_clean());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -296,6 +673,7 @@ mod tests {
             r.read_block(0),
             Err(StoreError::OutOfRange { .. })
         ));
+        assert!(r.verify().unwrap().is_clean());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -320,7 +698,10 @@ mod tests {
         std::fs::write(&path, b"NOTASTORE_______________________________________").unwrap();
         assert!(matches!(
             StoreReader::open(&path),
-            Err(StoreError::Corrupt("bad magic"))
+            Err(StoreError::Corrupt {
+                reason: "bad magic",
+                ..
+            })
         ));
         let _ = std::fs::remove_file(&path);
     }
@@ -335,5 +716,185 @@ mod tests {
         }));
         assert!(result.is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_flip_detected() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..3).map(|b| patterned_block(geom, b)).collect();
+        let (mut bytes, _) = store_bytes(geom, 1e-9, &blocks);
+        bytes[10] ^= 0x02; // inside the error-bound field
+        let err = StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Checksum { block: None, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn payload_flip_pinned_to_block() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..6).map(|b| patterned_block(geom, b)).collect();
+        let (mut bytes, spans) = store_bytes(geom, 1e-9, &blocks);
+        let (off, len) = spans[4];
+        bytes[(off + len / 2) as usize] ^= 0x01;
+        let mut r = StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap();
+        // Undamaged blocks still read.
+        for i in [0usize, 1, 2, 3, 5] {
+            r.read_block(i).unwrap();
+        }
+        // The damaged one is pinned by index and offset.
+        match r.read_block(4).unwrap_err() {
+            StoreError::Checksum { block, offset, .. } => {
+                assert_eq!(block, Some(4));
+                assert_eq!(offset, Some(off));
+            }
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // verify() finds exactly that block.
+        let report = r.verify().unwrap();
+        assert_eq!(report.blocks, 6);
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].block, 4);
+        assert_eq!(report.damaged[0].offset, off);
+    }
+
+    #[test]
+    fn index_flip_detected() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..3).map(|b| patterned_block(geom, b)).collect();
+        let (mut bytes, _) = store_bytes(geom, 1e-9, &blocks);
+        // The index sits between the last block and the trailing 4-byte
+        // index CRC; flip a bit in its first entry.
+        let index_offset =
+            u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+        bytes[index_offset + 2] ^= 0x20;
+        let err = StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Checksum { block: None, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn v1_stores_still_read() {
+        // Hand-build the legacy layout: 48-byte header, no CRCs, 16-byte
+        // index entries — byte-for-byte what the pre-v2 writer emitted.
+        let geom = BlockGeometry::new(4, 4);
+        let eb = 1e-9;
+        let blocks: Vec<Vec<f64>> = (0..5).map(|b| patterned_block(geom, b)).collect();
+        let c = Compressor::new(geom, eb);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_V1);
+        bytes.extend_from_slice(&eb.to_le_bytes());
+        bytes.extend_from_slice(&(geom.num_subblocks as u64).to_le_bytes());
+        bytes.extend_from_slice(&(geom.subblock_size as u64).to_le_bytes());
+        bytes.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // index offset, patched below
+        let mut spans = Vec::new();
+        for b in &blocks {
+            let payload = c.compress(b);
+            spans.push((bytes.len() as u64, payload.len() as u64));
+            bytes.extend_from_slice(&payload);
+        }
+        let index_offset = bytes.len() as u64;
+        for &(off, len) in &spans {
+            bytes.extend_from_slice(&off.to_le_bytes());
+            bytes.extend_from_slice(&len.to_le_bytes());
+        }
+        bytes[40..48].copy_from_slice(&index_offset.to_le_bytes());
+
+        let mut r = StoreReader::from_source(Cursor::new(bytes.clone()), RetryPolicy::none()).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.num_blocks(), 5);
+        for (i, b) in blocks.iter().enumerate() {
+            let got = r.read_block(i).unwrap();
+            for (a, g) in b.iter().zip(&got) {
+                assert!((a - g).abs() <= eb);
+            }
+        }
+        assert!(r.verify().unwrap().is_clean());
+
+        // v1 damage is still caught — by decompression (container CRCs),
+        // not the (absent) index checksum.
+        let (off, len) = spans[2];
+        let mut damaged = bytes.clone();
+        damaged[(off + len / 2) as usize] ^= 0x08;
+        let mut r =
+            StoreReader::from_source(Cursor::new(damaged), RetryPolicy::none()).unwrap();
+        let report = r.verify().unwrap();
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].block, 2);
+    }
+
+    #[test]
+    fn transient_errors_are_retried() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..8).map(|b| patterned_block(geom, b)).collect();
+        let (bytes, _) = store_bytes(geom, 1e-9, &blocks);
+        let flaky = FaultyReader::new(
+            Cursor::new(bytes),
+            1234,
+            FaultConfig {
+                transient_rate: 0.4,
+                max_transient_errors: 50,
+                transient_kind: ErrorKind::WouldBlock,
+                short_reads: true,
+                ..Default::default()
+            },
+        );
+        let retry = RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::ZERO, // keep the test instant
+            max_backoff: Duration::ZERO,
+        };
+        let mut r = StoreReader::from_source(flaky, retry).unwrap();
+        assert_eq!(r.num_blocks(), 8);
+        let all = r.read_all().unwrap();
+        assert_eq!(all.len(), 8 * geom.block_size());
+        assert!(r.verify().unwrap().is_clean());
+        assert!(
+            r.source.transient_errors_injected() > 0,
+            "the fault injector must actually have fired"
+        );
+    }
+
+    #[test]
+    fn transient_errors_surface_without_retry() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..8).map(|b| patterned_block(geom, b)).collect();
+        let (bytes, _) = store_bytes(geom, 1e-9, &blocks);
+        let flaky = FaultyReader::new(
+            Cursor::new(bytes),
+            1234,
+            FaultConfig {
+                transient_rate: 0.9,
+                max_transient_errors: 1000,
+                transient_kind: ErrorKind::WouldBlock,
+                ..Default::default()
+            },
+        );
+        let result = StoreReader::from_source(flaky, RetryPolicy::none())
+            .and_then(|mut r| r.read_all());
+        assert!(
+            matches!(result, Err(StoreError::Io(ref e)) if e.kind() == ErrorKind::WouldBlock),
+            "without retries the transient error must surface: {result:?}"
+        );
+    }
+
+    #[test]
+    fn hostile_block_count_rejected_before_allocation() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..2).map(|b| patterned_block(geom, b)).collect();
+        let (mut bytes, _) = store_bytes(geom, 1e-9, &blocks);
+        // Claim ~10^15 blocks; the index could never fit in the file, so
+        // open() must fail on the bounds check (the header CRC also
+        // breaks, but either way: no giant allocation).
+        bytes[32..40].copy_from_slice(&(1u64 << 50).to_le_bytes());
+        let err = StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Checksum { .. } | StoreError::Corrupt { .. }),
+            "got {err:?}"
+        );
     }
 }

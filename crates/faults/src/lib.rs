@@ -1,0 +1,336 @@
+//! Deterministic I/O fault injection — the test harness behind the
+//! repo's corruption-resilience guarantees.
+//!
+//! [`FaultyReader`] wraps any `Read` (and passes `Seek` through) and
+//! injects the failure modes a compressed-ERI dataset actually meets on
+//! a parallel file system: flipped bits, a truncated tail, short reads,
+//! and transient `Interrupted`/`WouldBlock` errors. Everything is keyed
+//! off a caller-supplied seed and the *absolute byte offset*, so a given
+//! (source, seed, config) triple always injects the same faults no
+//! matter how the consumer chunks its reads — a failing test seed
+//! reproduces exactly.
+//!
+//! [`flip_bits`] is the in-memory counterpart for tests that corrupt a
+//! byte buffer directly.
+//!
+//! This crate is test support: production code never depends on it
+//! (repo crates pull it in under `[dev-dependencies]` only), but it is a
+//! normal library so the CLI's self-test and `pfs-sim`'s failure model
+//! can share the same arithmetic.
+
+use std::io::{self, ErrorKind, Read, Seek, SeekFrom};
+
+/// What to inject. The default injects nothing — enable modes per test.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability that any given byte has one of its bits flipped.
+    pub bit_flip_rate: f64,
+    /// Probability that a `read` call fails with a transient error
+    /// before touching the source.
+    pub transient_rate: f64,
+    /// Error kind for transient failures ([`ErrorKind::Interrupted`] or
+    /// [`ErrorKind::WouldBlock`] are the realistic choices).
+    pub transient_kind: ErrorKind,
+    /// Hard cap on injected transient errors, so retry loops always
+    /// terminate. `0` disables transient injection entirely.
+    pub max_transient_errors: u32,
+    /// Deliver at most a prefix of each requested read (exercises
+    /// callers that wrongly assume `read` fills the buffer).
+    pub short_reads: bool,
+    /// Bytes at and beyond this offset read as end-of-file (a torn
+    /// write / truncated tail).
+    pub truncate_at: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            bit_flip_rate: 0.0,
+            transient_rate: 0.0,
+            transient_kind: ErrorKind::Interrupted,
+            max_transient_errors: 0,
+            short_reads: false,
+            truncate_at: None,
+        }
+    }
+}
+
+/// Wraps a reader and injects the faults described by a [`FaultConfig`],
+/// deterministically per seed.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    seed: u64,
+    config: FaultConfig,
+    /// Absolute offset of the next byte to be read (tracks seeks).
+    pos: u64,
+    /// Monotonic `read`-call counter (drives transient-error draws).
+    calls: u64,
+    transient_emitted: u32,
+}
+
+impl<R> FaultyReader<R> {
+    /// Wraps `inner`, injecting faults per `config`, reproducible for a
+    /// given `seed`.
+    pub fn new(inner: R, seed: u64, config: FaultConfig) -> Self {
+        Self {
+            inner,
+            seed,
+            config,
+            pos: 0,
+            calls: 0,
+            transient_emitted: 0,
+        }
+    }
+
+    /// How many transient errors have been injected so far.
+    #[must_use]
+    pub fn transient_errors_injected(&self) -> u32 {
+        self.transient_emitted
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Should the byte at absolute `offset` be corrupted, and if so
+    /// which bit? Pure function of (seed, offset) — read-chunking and
+    /// seek patterns cannot change the answer.
+    fn flip_for_offset(&self, offset: u64) -> Option<u8> {
+        if self.config.bit_flip_rate <= 0.0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ offset.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if unit_f64(h) < self.config.bit_flip_rate {
+            Some(1 << (h >> 61))
+        } else {
+            None
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let call = self.calls;
+        self.calls += 1;
+        if self.config.transient_rate > 0.0
+            && self.transient_emitted < self.config.max_transient_errors
+        {
+            let h = splitmix64(self.seed ^ 0xdead_4bad ^ call.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            if unit_f64(h) < self.config.transient_rate {
+                self.transient_emitted += 1;
+                return Err(io::Error::new(self.config.transient_kind, "injected transient"));
+            }
+        }
+
+        let mut want = buf.len();
+        if let Some(limit) = self.config.truncate_at {
+            let left = limit.saturating_sub(self.pos);
+            want = want.min(left as usize);
+            if want == 0 && !buf.is_empty() {
+                return Ok(0); // truncated tail
+            }
+        }
+        if self.config.short_reads && want > 1 {
+            let h = splitmix64(self.seed ^ 0x5407_7e44 ^ call);
+            want = 1 + (h as usize % want);
+        }
+
+        let n = self.inner.read(&mut buf[..want])?;
+        for (i, byte) in buf[..n].iter_mut().enumerate() {
+            if let Some(mask) = self.flip_for_offset(self.pos + i as u64) {
+                *byte ^= mask;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for FaultyReader<R> {
+    fn seek(&mut self, to: SeekFrom) -> io::Result<u64> {
+        let pos = self.inner.seek(to)?;
+        self.pos = pos;
+        Ok(pos)
+    }
+}
+
+/// Flips `k` distinct bits of `bytes` within byte range
+/// `[from, bytes.len())`, chosen deterministically from `seed`. Returns
+/// the flipped `(byte, bit)` positions. Panics if the range cannot hold
+/// `k` distinct bits.
+pub fn flip_bits(bytes: &mut [u8], from: usize, k: usize, seed: u64) -> Vec<(usize, u8)> {
+    let span = bytes.len().checked_sub(from).expect("range start past end");
+    assert!(k <= span * 8, "cannot flip {k} distinct bits in {span} bytes");
+    let mut flipped = Vec::with_capacity(k);
+    let mut state = seed;
+    while flipped.len() < k {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let h = splitmix64(state);
+        let byte = from + (h as usize) % span;
+        let bit = ((h >> 32) % 8) as u8;
+        if flipped.contains(&(byte, bit)) {
+            continue;
+        }
+        bytes[byte] ^= 1 << bit;
+        flipped.push((byte, bit));
+    }
+    flipped
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to `[0, 1)`.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn read_all_through(cfg: FaultConfig, seed: u64, chunk: usize) -> Vec<u8> {
+        let src = data(4096);
+        let mut r = FaultyReader::new(Cursor::new(src), seed, cfg);
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; chunk];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock) => {
+                    continue
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let out = read_all_through(FaultConfig::default(), 42, 100);
+        assert_eq!(out, data(4096));
+    }
+
+    #[test]
+    fn bit_flips_are_chunking_independent() {
+        let cfg = FaultConfig {
+            bit_flip_rate: 0.01,
+            ..Default::default()
+        };
+        let a = read_all_through(cfg, 7, 1);
+        let b = read_all_through(cfg, 7, 64);
+        let c = read_all_through(cfg, 7, 4096);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        let clean = data(4096);
+        let diff = a.iter().zip(&clean).filter(|(x, y)| x != y).count();
+        assert!(diff > 0, "1% rate over 4 KiB must flip something");
+        // Each corrupted byte differs by exactly one bit.
+        for (x, y) in a.iter().zip(&clean) {
+            if x != y {
+                assert_eq!((x ^ y).count_ones(), 1);
+            }
+        }
+        // A different seed flips different bytes.
+        let other = read_all_through(cfg, 8, 64);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn truncation_ends_the_stream() {
+        let cfg = FaultConfig {
+            truncate_at: Some(1000),
+            ..Default::default()
+        };
+        let out = read_all_through(cfg, 1, 256);
+        assert_eq!(out, data(4096)[..1000].to_vec());
+    }
+
+    #[test]
+    fn short_reads_still_deliver_everything() {
+        let cfg = FaultConfig {
+            short_reads: true,
+            ..Default::default()
+        };
+        let out = read_all_through(cfg, 3, 512);
+        assert_eq!(out, data(4096));
+    }
+
+    #[test]
+    fn transient_errors_are_bounded() {
+        let cfg = FaultConfig {
+            transient_rate: 0.5,
+            max_transient_errors: 5,
+            transient_kind: ErrorKind::WouldBlock,
+            ..Default::default()
+        };
+        let src = data(4096);
+        let mut r = FaultyReader::new(Cursor::new(src.clone()), 9, cfg);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 128];
+        let mut transients = 0;
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => transients += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, src);
+        assert_eq!(transients, 5, "must stop at max_transient_errors");
+        assert_eq!(r.transient_errors_injected(), 5);
+    }
+
+    #[test]
+    fn seek_keeps_flip_determinism() {
+        let cfg = FaultConfig {
+            bit_flip_rate: 0.05,
+            ..Default::default()
+        };
+        // Read straight through.
+        let straight = read_all_through(cfg, 11, 4096);
+        // Read the second half first, then the first half, via seeks.
+        let mut r = FaultyReader::new(Cursor::new(data(4096)), 11, cfg);
+        let mut second = vec![0u8; 2048];
+        r.seek(SeekFrom::Start(2048)).unwrap();
+        r.read_exact(&mut second).unwrap();
+        let mut first = vec![0u8; 2048];
+        r.seek(SeekFrom::Start(0)).unwrap();
+        r.read_exact(&mut first).unwrap();
+        first.extend_from_slice(&second);
+        assert_eq!(first, straight, "flips must depend on offset, not read order");
+    }
+
+    #[test]
+    fn flip_bits_flips_exactly_k_distinct() {
+        let mut buf = data(512);
+        let clean = buf.clone();
+        let flipped = flip_bits(&mut buf, 100, 8, 77);
+        assert_eq!(flipped.len(), 8);
+        let diff_bits: u32 = buf
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 8);
+        assert!(flipped.iter().all(|&(b, _)| b >= 100));
+        // Deterministic.
+        let mut again = clean.clone();
+        assert_eq!(flip_bits(&mut again, 100, 8, 77), flipped);
+        assert_eq!(again, buf);
+    }
+}

@@ -291,7 +291,7 @@ pub fn decompress_block(
 ) -> Result<(), DecompressError> {
     assert_eq!(out.len(), geom.block_size());
     let kind = BlockKind::from_bits(r.read_bits(3)?)
-        .ok_or(DecompressError::Corrupt("unknown block kind"))?;
+        .ok_or(DecompressError::corrupt("unknown block kind"))?;
     match kind {
         BlockKind::AllZero => {
             out.fill(0.0);
@@ -311,11 +311,11 @@ pub fn decompress_block(
     let _pattern_sb = r.read_bits(bits_for(geom.num_subblocks as u64))? as usize;
     let pb = r.read_bits(6)? as u32;
     if !(2..=62).contains(&pb) {
-        return Err(DecompressError::Corrupt("pattern bit width out of range"));
+        return Err(DecompressError::corrupt("pattern bit width out of range"));
     }
     let sb_bits = r.read_bits(6)? as u32;
     if !(2..=62).contains(&sb_bits) {
-        return Err(DecompressError::Corrupt("scale bit width out of range"));
+        return Err(DecompressError::corrupt("scale bit width out of range"));
     }
     let mut phat = Vec::with_capacity(sbs);
     for _ in 0..sbs {
@@ -339,7 +339,7 @@ pub fn decompress_block(
         BlockKind::Dense => {
             let ecb_max = r.read_bits(6)? as u32;
             if !(1..=62).contains(&ecb_max) {
-                return Err(DecompressError::Corrupt("EC bit width out of range"));
+                return Err(DecompressError::corrupt("EC bit width out of range"));
             }
             let mut ecq = Vec::with_capacity(block_size);
             tree.decode_stream(block_size, ecb_max, r, &mut ecq)?;
@@ -350,16 +350,16 @@ pub fn decompress_block(
         BlockKind::Sparse => {
             let ecb_max = r.read_bits(6)? as u32;
             if !(1..=62).contains(&ecb_max) {
-                return Err(DecompressError::Corrupt("EC bit width out of range"));
+                return Err(DecompressError::corrupt("EC bit width out of range"));
             }
             let nol = r.read_bits(bits_for(block_size as u64 + 1))? as usize;
             if nol > block_size {
-                return Err(DecompressError::Corrupt("outlier count exceeds block size"));
+                return Err(DecompressError::corrupt("outlier count exceeds block size"));
             }
             for _ in 0..nol {
                 let idx = r.read_bits(bits_for(block_size as u64))? as usize;
                 if idx >= block_size {
-                    return Err(DecompressError::Corrupt("outlier index out of range"));
+                    return Err(DecompressError::corrupt("outlier index out of range"));
                 }
                 let q = r.read_signed(ecb_max)?;
                 out[idx] += quant.dequantize(q);

@@ -1,10 +1,10 @@
 //! The PaSTRI container format and the top-level [`Compressor`] API.
 //!
-//! Byte layout:
+//! Byte layout (version 2, current):
 //!
 //! ```text
 //! magic            4 bytes  "PSTR"
-//! version          1 byte   (= 1)
+//! version          1 byte   (= 2)
 //! metric wire id   1 byte   (provenance; not needed to decode)
 //! tree wire id     1 byte
 //! error bound      8 bytes  f64 LE
@@ -12,15 +12,27 @@
 //! subblock_size    varint
 //! original_len     varint   (doubles, before tail padding)
 //! num_blocks       varint
-//! blocks           num_blocks × { varint payload_bytes; payload }
+//! header_crc32     4 bytes  u32 LE  (CRC32 of every byte above)
+//! blocks           num_blocks × { varint payload_bytes;
+//!                                 payload_crc32 4 bytes u32 LE;
+//!                                 payload }
 //! ```
+//!
+//! Version 1 is the same layout minus both CRC32 fields; the decoder
+//! keeps that path alive behind the version byte, so pre-v2 archives
+//! remain readable.
 //!
 //! Each block payload is byte-aligned and self-contained, which is what
 //! makes PaSTRI "highly parallelizable … each block compressed and
 //! decompressed completely independent from each other" (paper
 //! Sec. IV-C): both directions fan blocks out across threads with rayon.
+//! The per-block CRC32 exploits the same independence for *integrity*:
+//! a flipped bit is pinned to one block, strict decoding reports exactly
+//! which block (and byte offset) failed, and [`decompress_lossy`]
+//! recovers every other block.
 
 use bitio::{BitReader, BitWriter};
+use checksum::crc32;
 use rayon::prelude::*;
 
 use crate::block::{compress_block, decompress_block};
@@ -32,7 +44,11 @@ use crate::quant::Quantizer;
 use crate::stats::CompressionStats;
 
 const MAGIC: [u8; 4] = *b"PSTR";
-const VERSION: u8 = 1;
+/// Current container version (writes). The decoder also accepts
+/// [`VERSION_V1`].
+const VERSION: u8 = 2;
+/// Legacy checksum-free container version (still decodable).
+const VERSION_V1: u8 = 1;
 
 /// How many bits quantize the scaling coefficients (paper Sec. IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -194,7 +210,7 @@ impl Compressor {
             .collect();
 
         // Assemble the container.
-        let mut out = Vec::with_capacity(32 + results.iter().map(|(p, _)| p.len() + 5).sum::<usize>());
+        let mut out = Vec::with_capacity(32 + results.iter().map(|(p, _)| p.len() + 9).sum::<usize>());
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         out.push(self.options.metric.wire_id());
@@ -204,9 +220,12 @@ impl Compressor {
         write_varint(&mut out, self.geometry.subblock_size as u64);
         write_varint(&mut out, data.len() as u64);
         write_varint(&mut out, num_blocks as u64);
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
         let header_len = out.len();
         for (payload, _) in &results {
             write_varint(&mut out, payload.len() as u64);
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
             out.extend_from_slice(payload);
         }
         if let Some(s) = stats {
@@ -216,7 +235,7 @@ impl Compressor {
             let framing = header_len as u64
                 + results
                     .iter()
-                    .map(|(p, _)| varint_len(p.len() as u64) as u64)
+                    .map(|(p, _)| varint_len(p.len() as u64) as u64 + 4)
                     .sum::<u64>();
             s.record_container_bits(framing * 8);
         }
@@ -238,10 +257,26 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f64>, DecompressError> {
     Ok(out)
 }
 
-/// Decompresses into a caller-provided buffer, reusing its allocation —
-/// the right API for the SCF reuse loop, where the same container is
-/// decoded every iteration. The buffer is cleared and resized as needed.
-pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), DecompressError> {
+/// Parsed, validated container header.
+struct Header {
+    version: u8,
+    tree: EncodingTree,
+    eb: f64,
+    geometry: BlockGeometry,
+    original_len: usize,
+    num_blocks: usize,
+    /// Byte offset of the first block's framing (just past the header and,
+    /// for v2, its CRC32).
+    blocks_start: usize,
+}
+
+impl Header {
+    fn has_checksums(&self) -> bool {
+        self.version >= VERSION
+    }
+}
+
+fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
     let mut pos = 0usize;
     let magic = bytes.get(..4).ok_or(DecompressError::Truncated)?;
     if magic != MAGIC {
@@ -249,7 +284,7 @@ pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), Decompres
     }
     pos += 4;
     let version = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(DecompressError::BadVersion(version));
     }
     pos += 1;
@@ -257,7 +292,7 @@ pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), Decompres
     pos += 1;
     let tree_id = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
     let tree = EncodingTree::from_wire_id(tree_id)
-        .ok_or(DecompressError::Corrupt("unknown encoding tree"))?;
+        .ok_or(DecompressError::corrupt("unknown encoding tree"))?;
     pos += 1;
     let eb_bytes: [u8; 8] = bytes
         .get(pos..pos + 8)
@@ -266,58 +301,293 @@ pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), Decompres
         .unwrap();
     let eb = f64::from_le_bytes(eb_bytes);
     if !(eb.is_finite() && eb > 0.0) {
-        return Err(DecompressError::Corrupt("invalid error bound"));
+        return Err(DecompressError::corrupt("invalid error bound"));
     }
     pos += 8;
     let num_sb = read_varint(bytes, &mut pos)? as usize;
     let sb_size = read_varint(bytes, &mut pos)? as usize;
     if num_sb == 0 || sb_size == 0 || num_sb.saturating_mul(sb_size) > (1 << 28) {
-        return Err(DecompressError::Corrupt("implausible geometry"));
+        return Err(DecompressError::corrupt("implausible geometry"));
     }
     let original_len = read_varint(bytes, &mut pos)? as usize;
     let num_blocks = read_varint(bytes, &mut pos)? as usize;
     let geometry = BlockGeometry::new(num_sb, sb_size);
     let bs = geometry.block_size();
     if num_blocks != geometry.blocks_for_len(original_len) {
-        return Err(DecompressError::Corrupt("block count mismatch"));
+        return Err(DecompressError::corrupt("block count mismatch"));
     }
 
     // Each block costs at least two bytes (length varint + payload), so a
     // valid block count is bounded by the container size — reject inflated
     // headers before any allocation sized by them.
     if num_blocks > bytes.len() {
-        return Err(DecompressError::Corrupt("block count exceeds container size"));
+        return Err(DecompressError::corrupt("block count exceeds container size"));
     }
     // In-memory decode ceiling (16 GiB of doubles). Larger datasets use
     // the streaming format, which decodes segment by segment.
     if num_blocks.saturating_mul(bs) > (1usize << 31) {
-        return Err(DecompressError::Corrupt("decoded size exceeds in-memory ceiling"));
+        return Err(DecompressError::corrupt("decoded size exceeds in-memory ceiling"));
     }
 
-    // Slice out per-block payloads (cheap sequential scan), then decode in
-    // parallel.
-    let mut payloads = Vec::with_capacity(num_blocks);
-    for _ in 0..num_blocks {
-        let len = read_varint(bytes, &mut pos)? as usize;
-        let payload = bytes
-            .get(pos..pos.checked_add(len).ok_or(DecompressError::Truncated)?)
-            .ok_or(DecompressError::Truncated)?;
-        payloads.push(payload);
-        pos += len;
+    if version >= VERSION {
+        let stored = u32::from_le_bytes(
+            bytes
+                .get(pos..pos + 4)
+                .ok_or(DecompressError::Truncated)?
+                .try_into()
+                .unwrap(),
+        );
+        let actual = crc32(&bytes[..pos]);
+        if stored != actual {
+            return Err(DecompressError::ChecksumMismatch {
+                block: None,
+                offset: Some(pos as u64),
+                expected: stored,
+                actual,
+            });
+        }
+        pos += 4;
     }
 
-    let quant = Quantizer::new(eb);
+    Ok(Header {
+        version,
+        tree,
+        eb,
+        geometry,
+        original_len,
+        num_blocks,
+        blocks_start: pos,
+    })
+}
+
+/// One block's framing within a container: where it sits, its declared
+/// checksum (v2), and the payload bytes.
+struct BlockFrame<'a> {
+    /// Container byte offset of this block's length varint.
+    offset: u64,
+    /// CRC32 recorded in the container; `None` for v1.
+    stored_crc: Option<u32>,
+    payload: &'a [u8],
+}
+
+/// Reads the next block frame. Validates the declared length against the
+/// remaining input *before* any allocation or slicing, so a hostile
+/// length field cannot trigger an oversized request.
+fn next_frame<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    checksummed: bool,
+) -> Result<BlockFrame<'a>, DecompressError> {
+    let offset = *pos as u64;
+    let len = read_varint(bytes, pos)
+        .map_err(|e| e.at_offset(offset))? as usize;
+    if len == 0 {
+        return Err(DecompressError::corrupt("empty block payload").at_offset(offset));
+    }
+    let stored_crc = if checksummed {
+        let c = u32::from_le_bytes(
+            bytes
+                .get(*pos..*pos + 4)
+                .ok_or(DecompressError::Truncated)?
+                .try_into()
+                .unwrap(),
+        );
+        *pos += 4;
+        Some(c)
+    } else {
+        None
+    };
+    let payload = bytes
+        .get(*pos..pos.checked_add(len).ok_or(DecompressError::Truncated)?)
+        .ok_or(DecompressError::Truncated)?;
+    *pos += len;
+    Ok(BlockFrame {
+        offset,
+        stored_crc,
+        payload,
+    })
+}
+
+/// Verifies a frame's stored CRC32 against its payload (no-op for v1).
+fn verify_frame(frame: &BlockFrame<'_>, block: usize) -> Result<(), DecompressError> {
+    if let Some(stored) = frame.stored_crc {
+        let actual = crc32(frame.payload);
+        if stored != actual {
+            return Err(DecompressError::ChecksumMismatch {
+                block: Some(block),
+                offset: Some(frame.offset),
+                expected: stored,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Decompresses into a caller-provided buffer, reusing its allocation —
+/// the right API for the SCF reuse loop, where the same container is
+/// decoded every iteration. The buffer is cleared and resized as needed.
+///
+/// Strict: the first damaged block aborts the decode, and the error
+/// carries that block's index and byte offset. Use [`decompress_lossy`]
+/// to recover everything around the damage instead.
+pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), DecompressError> {
+    let header = parse_header(bytes)?;
+    let geometry = header.geometry;
+    let bs = geometry.block_size();
+    let tree = header.tree;
+
+    // Slice out per-block payloads (cheap sequential scan, including CRC
+    // verification at ~1 GB/s), then decode in parallel.
+    let mut frames = Vec::with_capacity(header.num_blocks);
+    let mut pos = header.blocks_start;
+    for b in 0..header.num_blocks {
+        let frame =
+            next_frame(bytes, &mut pos, header.has_checksums()).map_err(|e| e.with_block(b))?;
+        verify_frame(&frame, b)?;
+        frames.push(frame);
+    }
+
+    let quant = Quantizer::new(header.eb);
     out.clear();
-    out.resize(num_blocks * bs, 0.0);
+    out.resize(header.num_blocks * bs, 0.0);
     out.par_chunks_mut(bs)
-        .zip(payloads.par_iter())
-        .map(|(chunk, payload)| {
-            let mut r = BitReader::new(payload);
+        .zip(frames.par_iter())
+        .enumerate()
+        .map(|(b, (chunk, frame))| {
+            let mut r = BitReader::new(frame.payload);
             decompress_block(&mut r, &geometry, &quant, tree, chunk)
+                .map_err(|e| e.with_block(b).at_offset(frame.offset))
         })
         .collect::<Result<Vec<_>, _>>()?;
-    out.truncate(original_len);
+    out.truncate(header.original_len);
     Ok(())
+}
+
+/// The fate of one block under [`decompress_lossy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockOutcome {
+    /// Zero-based block index.
+    pub block: usize,
+    /// Container byte offset of the block's framing (its length varint),
+    /// or of the failure point for blocks lost to framing damage.
+    pub offset: u64,
+    /// `None` if the block decoded cleanly; otherwise why it was skipped.
+    pub error: Option<DecompressError>,
+}
+
+impl BlockOutcome {
+    /// Did this block decode cleanly?
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Result of a best-effort decode: recovered values plus a per-block
+/// damage report.
+#[derive(Debug, Clone)]
+pub struct LossyDecode {
+    /// Decoded values; elements belonging to damaged blocks are `0.0`
+    /// (the format's padding value, matching the paper's screened-element
+    /// convention). Length equals the recorded original length.
+    pub values: Vec<f64>,
+    /// One entry per declared block, in order.
+    pub outcomes: Vec<BlockOutcome>,
+}
+
+impl LossyDecode {
+    /// Number of blocks that could not be recovered.
+    #[must_use]
+    pub fn damaged(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.is_ok()).count()
+    }
+
+    /// `true` when every block decoded cleanly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.damaged() == 0
+    }
+}
+
+/// Best-effort decompression: damaged blocks are skipped (their output
+/// left zero-filled) and reported, instead of failing the whole dataset.
+/// Only header-level damage — bad magic/version, a truncated or
+/// checksum-failed header — is a hard error, because without a trusted
+/// header there is no geometry to frame blocks with.
+///
+/// Every recovered block still honors the container's error bound; the
+/// report tells the caller exactly which value ranges are untrustworthy
+/// (block `b` covers `b·block_size .. (b+1)·block_size` values).
+pub fn decompress_lossy(bytes: &[u8]) -> Result<LossyDecode, DecompressError> {
+    let header = parse_header(bytes)?;
+    let geometry = header.geometry;
+    let bs = geometry.block_size();
+    let tree = header.tree;
+
+    // Frame what we can. A damaged length varint breaks framing for every
+    // later block (lengths chain), so the scan stops there and the
+    // remaining blocks are reported lost at the failure offset.
+    let mut frames: Vec<Result<BlockFrame<'_>, (u64, DecompressError)>> =
+        Vec::with_capacity(header.num_blocks);
+    let mut pos = header.blocks_start;
+    let mut framing_lost: Option<(u64, DecompressError)> = None;
+    for b in 0..header.num_blocks {
+        if let Some(lost) = framing_lost {
+            frames.push(Err(lost));
+            continue;
+        }
+        match next_frame(bytes, &mut pos, header.has_checksums()) {
+            Ok(frame) => frames.push(Ok(frame)),
+            Err(e) => {
+                let at = (pos as u64, e.with_block(b));
+                frames.push(Err(at));
+                framing_lost = Some(at);
+            }
+        }
+    }
+
+    let quant = Quantizer::new(header.eb);
+    let mut values = vec![0.0f64; header.num_blocks * bs];
+    let outcomes: Vec<BlockOutcome> = values
+        .par_chunks_mut(bs)
+        .zip(frames.par_iter())
+        .enumerate()
+        .map(|(b, (chunk, frame))| {
+            let error = match frame {
+                Err((offset, e)) => {
+                    return BlockOutcome {
+                        block: b,
+                        offset: *offset,
+                        error: Some(*e),
+                    }
+                }
+                Ok(frame) => verify_frame(frame, b).err().or_else(|| {
+                    let mut r = BitReader::new(frame.payload);
+                    match decompress_block(&mut r, &geometry, &quant, tree, chunk) {
+                        Ok(()) => None,
+                        Err(e) => {
+                            // A failed decode may have partially filled the
+                            // chunk; restore the zero fill.
+                            chunk.fill(0.0);
+                            Some(e.with_block(b).at_offset(frame.offset))
+                        }
+                    }
+                }),
+            };
+            let offset = match frame {
+                Ok(f) => f.offset,
+                Err((o, _)) => *o,
+            };
+            BlockOutcome {
+                block: b,
+                offset,
+                error,
+            }
+        })
+        .collect();
+    values.truncate(header.original_len);
+    Ok(LossyDecode { values, outcomes })
 }
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -344,7 +614,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
         let byte = *bytes.get(*pos).ok_or(DecompressError::Truncated)?;
         *pos += 1;
         if shift == 63 && byte > 1 {
-            return Err(DecompressError::Corrupt("varint overflow"));
+            return Err(DecompressError::corrupt("varint overflow"));
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -352,7 +622,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(DecompressError::Corrupt("varint overflow"));
+            return Err(DecompressError::corrupt("varint overflow"));
         }
     }
 }
@@ -373,6 +643,25 @@ mod tests {
             }
         }
         data
+    }
+
+    /// Rewrites a v2 container as the checksum-free v1 layout — the exact
+    /// bytes the pre-v2 encoder produced. Lets every test exercise the
+    /// legacy decode path without golden files.
+    fn strip_to_v1(v2: &[u8]) -> Vec<u8> {
+        let header = parse_header(v2).expect("valid v2 container");
+        assert_eq!(header.version, VERSION);
+        let mut out = Vec::with_capacity(v2.len());
+        // Header minus its trailing CRC32, with the version byte rewritten.
+        out.extend_from_slice(&v2[..header.blocks_start - 4]);
+        out[4] = VERSION_V1;
+        let mut pos = header.blocks_start;
+        for _ in 0..header.num_blocks {
+            let frame = next_frame(v2, &mut pos, true).expect("valid v2 frame");
+            write_varint(&mut out, frame.payload.len() as u64);
+            out.extend_from_slice(frame.payload);
+        }
+        out
     }
 
     #[test]
@@ -524,5 +813,159 @@ mod tests {
             write_varint(&mut buf, v);
             assert_eq!(buf.len(), varint_len(v), "v={v}");
         }
+    }
+
+    #[test]
+    fn writes_v2_with_valid_checksums() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let bytes = c.compress(&patterned_stream(3, geom));
+        assert_eq!(bytes[4], VERSION);
+        let header = parse_header(&bytes).unwrap();
+        assert!(header.has_checksums());
+        let mut pos = header.blocks_start;
+        for b in 0..header.num_blocks {
+            let frame = next_frame(&bytes, &mut pos, true).unwrap();
+            verify_frame(&frame, b).unwrap();
+        }
+        assert_eq!(pos, bytes.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn v1_containers_still_decode() {
+        let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
+        let c = Compressor::new(geom, 1e-10);
+        let data = patterned_stream(4, geom);
+        let v2 = c.compress(&data);
+        let v1 = strip_to_v1(&v2);
+        assert_eq!(v1[4], VERSION_V1);
+        assert!(v1.len() < v2.len());
+        let back = decompress(&v1).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-10);
+        }
+    }
+
+    #[test]
+    fn payload_flip_pinpoints_block() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let data = patterned_stream(6, geom);
+        let bytes = c.compress(&data);
+        let header = parse_header(&bytes).unwrap();
+        // Locate block 3's payload and flip one bit in its middle.
+        let mut pos = header.blocks_start;
+        let mut target = None;
+        for b in 0..header.num_blocks {
+            let before = pos;
+            let frame = next_frame(&bytes, &mut pos, true).unwrap();
+            if b == 3 {
+                target = Some((before as u64, pos - frame.payload.len() / 2));
+            }
+        }
+        let (frame_offset, flip_at) = target.unwrap();
+        let mut damaged = bytes.clone();
+        damaged[flip_at] ^= 0x10;
+        match decompress(&damaged).unwrap_err() {
+            DecompressError::ChecksumMismatch { block, offset, .. } => {
+                assert_eq!(block, Some(3));
+                assert_eq!(offset, Some(frame_offset));
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_flip_detected() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let mut bytes = c.compress(&patterned_stream(2, geom));
+        bytes[12] ^= 0x01; // inside the error-bound field
+        let err = decompress(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecompressError::ChecksumMismatch { block: None, .. }
+                    | DecompressError::Corrupt { .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_decode_recovers_undamaged_blocks() {
+        let geom = BlockGeometry::new(2, 4);
+        let bs = geom.block_size();
+        let c = Compressor::new(geom, 1e-9);
+        let data = patterned_stream(6, geom);
+        let bytes = c.compress(&data);
+        let clean = decompress(&bytes).unwrap();
+
+        // Clean container: lossy == strict.
+        let lossy = decompress_lossy(&bytes).unwrap();
+        assert!(lossy.is_clean());
+        assert_eq!(lossy.values, clean);
+
+        // Flip a bit in block 2's payload.
+        let header = parse_header(&bytes).unwrap();
+        let mut pos = header.blocks_start;
+        let mut flip_at = 0;
+        for b in 0..header.num_blocks {
+            let frame = next_frame(&bytes, &mut pos, true).unwrap();
+            if b == 2 {
+                flip_at = pos - frame.payload.len() + 1;
+            }
+        }
+        let mut damaged = bytes.clone();
+        damaged[flip_at] ^= 0x80;
+
+        let lossy = decompress_lossy(&damaged).unwrap();
+        assert_eq!(lossy.damaged(), 1);
+        assert!(!lossy.outcomes[2].is_ok());
+        assert!(matches!(
+            lossy.outcomes[2].error,
+            Some(DecompressError::ChecksumMismatch { block: Some(2), .. })
+        ));
+        assert_eq!(lossy.values.len(), clean.len());
+        for (i, (a, b)) in lossy.values.iter().zip(&clean).enumerate() {
+            if (2 * bs..3 * bs).contains(&i) {
+                assert_eq!(*a, 0.0, "damaged block must be zero-filled at {i}");
+            } else {
+                assert_eq!(a, b, "undamaged value differs at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_decode_reports_framing_loss() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let bytes = c.compress(&patterned_stream(5, geom));
+        let header = parse_header(&bytes).unwrap();
+        // Corrupt block 1's length varint to an absurd value: framing for
+        // blocks 1.. is gone, but block 0 must survive.
+        let mut pos = header.blocks_start;
+        let _ = next_frame(&bytes, &mut pos, true).unwrap();
+        let mut damaged = bytes.clone();
+        damaged[pos] = 0xff;
+        damaged[pos + 1] = 0xff;
+
+        let lossy = decompress_lossy(&damaged).unwrap();
+        assert!(lossy.outcomes[0].is_ok());
+        assert_eq!(lossy.damaged(), 4);
+        for o in &lossy.outcomes[1..] {
+            assert!(!o.is_ok());
+        }
+    }
+
+    #[test]
+    fn lossy_decode_rejects_header_damage() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let mut bytes = c.compress(&patterned_stream(2, geom));
+        bytes[8] ^= 0x01; // error-bound field: header CRC must fail
+        assert!(decompress_lossy(&bytes).is_err());
+        assert!(decompress_lossy(b"nope").is_err());
     }
 }

@@ -274,7 +274,7 @@ impl EncodingTree {
                     while r.read_bit()? {
                         bits += 1;
                         if bits > 64 {
-                            return Err(DecompressError::Corrupt("tree4 prefix overrun"));
+                            return Err(DecompressError::corrupt("tree4 prefix overrun"));
                         }
                     }
                     if bits == 1 {

@@ -14,6 +14,9 @@ use crate::metrics::ScalingMetric;
 /// Everything the container header + block tags reveal.
 #[derive(Debug, Clone)]
 pub struct ContainerInfo {
+    /// Container format version (1 = legacy checksum-free, 2 = CRC32
+    /// over header and each block payload).
+    pub version: u8,
     /// Absolute error bound the stream was compressed with.
     pub error_bound: f64,
     /// Block geometry.
@@ -55,14 +58,15 @@ pub fn inspect(bytes: &[u8]) -> Result<ContainerInfo, DecompressError> {
     }
     pos += 4;
     let version = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
-    if version != 1 {
+    if version != 1 && version != 2 {
         return Err(DecompressError::BadVersion(version));
     }
+    let checksummed = version >= 2;
     pos += 1;
     let metric = ScalingMetric::from_wire_id(*bytes.get(pos).ok_or(DecompressError::Truncated)?);
     pos += 1;
     let tree = EncodingTree::from_wire_id(*bytes.get(pos).ok_or(DecompressError::Truncated)?)
-        .ok_or(DecompressError::Corrupt("unknown encoding tree"))?;
+        .ok_or(DecompressError::corrupt("unknown encoding tree"))?;
     pos += 1;
     let eb_bytes: [u8; 8] = bytes
         .get(pos..pos + 8)
@@ -74,31 +78,45 @@ pub fn inspect(bytes: &[u8]) -> Result<ContainerInfo, DecompressError> {
     let num_sb = read_varint(bytes, &mut pos)? as usize;
     let sb_size = read_varint(bytes, &mut pos)? as usize;
     if num_sb == 0 || sb_size == 0 || num_sb.saturating_mul(sb_size) > (1 << 28) {
-        return Err(DecompressError::Corrupt("implausible geometry"));
+        return Err(DecompressError::corrupt("implausible geometry"));
     }
     let original_len = read_varint(bytes, &mut pos)? as usize;
     let num_blocks = read_varint(bytes, &mut pos)? as usize;
+    if num_blocks > bytes.len() {
+        return Err(DecompressError::corrupt("block count exceeds container size"));
+    }
     let geometry = BlockGeometry::new(num_sb, sb_size);
+    if checksummed {
+        // Header CRC32 — present but not verified here: inspection is a
+        // census, `decompress`/`decompress_lossy` do the verification.
+        bytes.get(pos..pos + 4).ok_or(DecompressError::Truncated)?;
+        pos += 4;
+    }
 
     let mut kind_counts = [0u64; 5];
     let mut payload_bytes = 0u64;
     for _ in 0..num_blocks {
         let len = read_varint(bytes, &mut pos)? as usize;
+        if checksummed {
+            bytes.get(pos..pos + 4).ok_or(DecompressError::Truncated)?;
+            pos += 4;
+        }
         let payload = bytes
             .get(pos..pos.checked_add(len).ok_or(DecompressError::Truncated)?)
             .ok_or(DecompressError::Truncated)?;
         // Kind is the top 3 bits of the first payload byte; an AllZero
         // block is 1 byte, everything else longer.
-        let first = *payload.first().ok_or(DecompressError::Corrupt("empty block payload"))?;
+        let first = *payload.first().ok_or(DecompressError::corrupt("empty block payload"))?;
         let kind = first >> 5;
         if kind > BlockKind::Verbatim as u8 {
-            return Err(DecompressError::Corrupt("unknown block kind"));
+            return Err(DecompressError::corrupt("unknown block kind"));
         }
         kind_counts[kind as usize] += 1;
         payload_bytes += len as u64;
         pos += len;
     }
     Ok(ContainerInfo {
+        version,
         error_bound,
         geometry,
         original_len,
@@ -118,7 +136,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
         let byte = *bytes.get(*pos).ok_or(DecompressError::Truncated)?;
         *pos += 1;
         if shift == 63 && byte > 1 {
-            return Err(DecompressError::Corrupt("varint overflow"));
+            return Err(DecompressError::corrupt("varint overflow"));
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -126,7 +144,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(DecompressError::Corrupt("varint overflow"));
+            return Err(DecompressError::corrupt("varint overflow"));
         }
     }
 }
@@ -155,6 +173,7 @@ mod tests {
 
         let (bytes, stats) = c.compress_with_stats(&data);
         let info = inspect(&bytes).unwrap();
+        assert_eq!(info.version, 2);
         assert_eq!(info.error_bound, 1e-10);
         assert_eq!(info.geometry, geom);
         assert_eq!(info.original_len, data.len());

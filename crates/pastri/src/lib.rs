@@ -64,7 +64,10 @@ mod stats;
 pub mod stream;
 
 pub use block::{compress_block, decompress_block, BlockKind};
-pub use container::{decompress, decompress_into, Compressor, CompressorOptions, EcqRepr, ScaleRule};
+pub use container::{
+    decompress, decompress_into, decompress_lossy, BlockOutcome, Compressor, CompressorOptions,
+    EcqRepr, LossyDecode, ScaleRule,
+};
 pub use encoding::EncodingTree;
 pub use error::DecompressError;
 pub use geometry::BlockGeometry;

@@ -10,13 +10,23 @@
 //! reader can fan them out across threads or resume after a partial
 //! read; memory never exceeds one segment each way.
 //!
+//! Integrity comes from the embedded containers: each segment payload is
+//! a v2 container carrying its own header and per-block CRC32s, so a
+//! flipped bit inside a segment is detected there. Because segments are
+//! length-prefixed and independent, a damaged segment can be *skipped* —
+//! [`StreamReader::next_segment_or_skip`] keeps reading past it, and
+//! [`salvage`] rewrites a damaged stream keeping every intact segment
+//! byte-for-byte. Only damage to the framing itself (a length varint or
+//! a truncated tail) loses the remainder of the stream, since segment
+//! boundaries can no longer be located.
+//!
 //! ```
 //! use pastri::{BlockGeometry, Compressor};
 //! use pastri::stream::{StreamWriter, StreamReader};
 //!
 //! let compressor = Compressor::new(BlockGeometry::new(4, 9), 1e-9);
 //! let mut sink = Vec::new();
-//! let mut w = StreamWriter::new(&mut sink, compressor, 8);
+//! let mut w = StreamWriter::new(&mut sink, compressor, 8).unwrap();
 //! for chunk in [[0.25f64; 100], [0.5; 100]] {
 //!     w.write_values(&chunk).unwrap();
 //! }
@@ -38,6 +48,13 @@ use crate::error::DecompressError;
 const STREAM_MAGIC: [u8; 5] = *b"PSTRS";
 const STREAM_VERSION: u8 = 1;
 
+/// Declared-length sanity ceiling for one segment (1 GiB).
+const MAX_SEGMENT_BYTES: usize = 1 << 30;
+/// Segment buffers grow in steps of at most this much, so a hostile
+/// length field costs at most one wasted step before the short read
+/// surfaces — never a multi-GiB up-front allocation.
+const SEGMENT_ALLOC_STEP: usize = 4 << 20;
+
 /// Streaming compressor: feeds values in, emits framed containers.
 pub struct StreamWriter<W: Write> {
     sink: W,
@@ -53,24 +70,38 @@ impl<W: Write> StreamWriter<W> {
     /// Creates a writer flushing whole segments of
     /// `blocks_per_segment` blocks.
     ///
-    /// # Panics
-    /// Panics if `blocks_per_segment` is zero.
-    pub fn new(sink: W, compressor: Compressor, blocks_per_segment: usize) -> Self {
-        assert!(blocks_per_segment > 0);
+    /// # Errors
+    /// `InvalidInput` if `blocks_per_segment` is zero.
+    pub fn new(sink: W, compressor: Compressor, blocks_per_segment: usize) -> io::Result<Self> {
+        if blocks_per_segment == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "blocks_per_segment must be at least 1",
+            ));
+        }
         let segment_values = compressor.geometry().block_size() * blocks_per_segment;
-        Self {
+        Ok(Self {
             sink,
             compressor,
             buffer: Vec::with_capacity(segment_values),
             segment_values,
             started: false,
             finished: false,
-        }
+        })
     }
 
     /// Appends values to the stream, flushing any full segments.
+    ///
+    /// # Errors
+    /// `InvalidInput` if the stream was already finished; otherwise any
+    /// I/O error from the sink.
     pub fn write_values(&mut self, values: &[f64]) -> io::Result<()> {
-        assert!(!self.finished, "write after finish");
+        if self.finished {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "write after finish",
+            ));
+        }
         self.buffer.extend_from_slice(values);
         while self.buffer.len() >= self.segment_values {
             let rest = self.buffer.split_off(self.segment_values);
@@ -111,10 +142,28 @@ impl<W: Write> StreamWriter<W> {
     }
 }
 
+/// One segment's fate under [`StreamReader::next_segment_or_skip`].
+#[derive(Debug, Clone)]
+pub struct SegmentOutcome {
+    /// Zero-based segment index within the stream.
+    pub index: usize,
+    /// The recovered values, or why the segment was skipped.
+    pub values: Result<Vec<f64>, DecompressError>,
+}
+
+impl SegmentOutcome {
+    /// Did this segment decode cleanly?
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.values.is_ok()
+    }
+}
+
 /// Streaming decompressor: yields one segment of values at a time.
 pub struct StreamReader<R: Read> {
     source: R,
     done: bool,
+    next_index: usize,
 }
 
 impl<R: Read> StreamReader<R> {
@@ -131,11 +180,51 @@ impl<R: Read> StreamReader<R> {
         Ok(Self {
             source,
             done: false,
+            next_index: 0,
         })
     }
 
+    /// Index the next segment will have (segments consumed so far).
+    #[must_use]
+    pub fn segments_read(&self) -> usize {
+        self.next_index
+    }
+
     /// Reads and decompresses the next segment; `None` at the terminator.
+    ///
+    /// Strict: any damage fails the call. Use
+    /// [`next_segment_or_skip`](Self::next_segment_or_skip) to read past
+    /// damaged segments.
     pub fn next_segment(&mut self) -> Result<Option<Vec<f64>>, DecompressError> {
+        match self.next_segment_bytes()? {
+            None => Ok(None),
+            Some(container) => crate::container::decompress(&container).map(Some),
+        }
+    }
+
+    /// Reads the next segment, recovering it if intact and *skipping* it
+    /// (with the reason) if its payload is damaged. Returns `None` at the
+    /// stream terminator.
+    ///
+    /// # Errors
+    /// Only for unrecoverable framing loss — a damaged length varint or a
+    /// truncated tail — after which segment boundaries cannot be located
+    /// and no further segments can be read.
+    pub fn next_segment_or_skip(
+        &mut self,
+    ) -> Result<Option<SegmentOutcome>, DecompressError> {
+        let index = self.next_index;
+        match self.next_segment_bytes()? {
+            None => Ok(None),
+            Some(container) => Ok(Some(SegmentOutcome {
+                index,
+                values: crate::container::decompress(&container),
+            })),
+        }
+    }
+
+    /// Reads the next segment's raw container bytes (framing layer only).
+    fn next_segment_bytes(&mut self) -> Result<Option<Vec<u8>>, DecompressError> {
         if self.done {
             return Ok(None);
         }
@@ -144,12 +233,12 @@ impl<R: Read> StreamReader<R> {
             self.done = true;
             return Ok(None);
         }
-        if len > (1 << 30) {
-            return Err(DecompressError::Corrupt("segment implausibly large"));
+        if len > MAX_SEGMENT_BYTES {
+            return Err(DecompressError::corrupt("segment implausibly large"));
         }
-        let mut container = vec![0u8; len];
-        read_exact_or_truncated(&mut self.source, &mut container)?;
-        crate::container::decompress(&container).map(Some)
+        let container = read_segment_bytes(&mut self.source, len)?;
+        self.next_index += 1;
+        Ok(Some(container))
     }
 
     /// Convenience: drains the whole stream into one vector.
@@ -160,6 +249,76 @@ impl<R: Read> StreamReader<R> {
         }
         Ok(out)
     }
+}
+
+/// Report from [`salvage`]: what survived and what was dropped.
+#[derive(Debug, Clone)]
+pub struct SalvageReport {
+    /// Segments copied verbatim into the output.
+    pub kept: usize,
+    /// Index and failure reason of each segment dropped for payload
+    /// damage.
+    pub dropped: Vec<(usize, DecompressError)>,
+    /// `true` when framing was lost (damaged length varint or truncated
+    /// tail) before the terminator: everything after that point was
+    /// discarded.
+    pub tail_lost: bool,
+}
+
+impl SalvageReport {
+    /// Did every segment survive?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && !self.tail_lost
+    }
+}
+
+/// Rewrites a (possibly damaged) stream from `source` into `sink`,
+/// keeping every intact segment and dropping damaged ones. Intact
+/// segments are copied *byte-for-byte* — never re-encoded — so salvage
+/// preserves them bit-exact. The output is always a well-formed,
+/// terminated stream.
+///
+/// # Errors
+/// `InvalidData` if `source` is not a PaSTRI stream at all (bad magic or
+/// version); otherwise any I/O error from reading or writing. Damage
+/// *inside* the stream is not an error — it is reported in the
+/// [`SalvageReport`].
+pub fn salvage<R: Read, W: Write>(source: R, mut sink: W) -> io::Result<SalvageReport> {
+    let mut reader = StreamReader::new(source)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    sink.write_all(&STREAM_MAGIC)?;
+    sink.write_all(&[STREAM_VERSION])?;
+    let mut report = SalvageReport {
+        kept: 0,
+        dropped: Vec::new(),
+        tail_lost: false,
+    };
+    loop {
+        let index = reader.next_index;
+        match reader.next_segment_bytes() {
+            Ok(None) => break,
+            Ok(Some(container)) => {
+                // Only verified-decodable segments are worth keeping.
+                match crate::container::decompress(&container) {
+                    Ok(_) => {
+                        write_varint(&mut sink, container.len() as u64)?;
+                        sink.write_all(&container)?;
+                        report.kept += 1;
+                    }
+                    Err(e) => report.dropped.push((index, e)),
+                }
+            }
+            Err(_) => {
+                // Framing loss: boundaries are gone, drop the tail.
+                report.tail_lost = true;
+                break;
+            }
+        }
+    }
+    write_varint(&mut sink, 0)?;
+    sink.flush()?;
+    Ok(report)
 }
 
 fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
@@ -180,7 +339,7 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, DecompressError> {
         let mut byte = [0u8; 1];
         read_exact_or_truncated(r, &mut byte)?;
         if shift == 63 && byte[0] > 1 {
-            return Err(DecompressError::Corrupt("varint overflow"));
+            return Err(DecompressError::corrupt("varint overflow"));
         }
         v |= u64::from(byte[0] & 0x7f) << shift;
         if byte[0] & 0x80 == 0 {
@@ -188,9 +347,26 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, DecompressError> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(DecompressError::Corrupt("varint overflow"));
+            return Err(DecompressError::corrupt("varint overflow"));
         }
     }
+}
+
+/// Reads exactly `len` bytes, growing the buffer in bounded steps so the
+/// allocation tracks the bytes actually present: a hostile declared
+/// length against a short source fails after at most one extra step
+/// (≤ 4 MiB), not after reserving the full declared size.
+fn read_segment_bytes<R: Read>(r: &mut R, len: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut buf = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let step = remaining.min(SEGMENT_ALLOC_STEP);
+        let old = buf.len();
+        buf.resize(old + step, 0);
+        read_exact_or_truncated(r, &mut buf[old..])?;
+        remaining -= step;
+    }
+    Ok(buf)
 }
 
 fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), DecompressError> {
@@ -210,11 +386,42 @@ mod tests {
         (0..n).map(|i| ((i % 36) as f64 * 0.3).sin() * 1e-5).collect()
     }
 
+    /// A finished stream of `segments` full segments, one block each,
+    /// plus the byte ranges `[start, end)` of each segment's container
+    /// payload within the returned buffer.
+    fn stream_with_segments(segments: usize) -> (Vec<u8>, Vec<(usize, usize)>) {
+        let data = patterned(36 * segments);
+        let mut sink = Vec::new();
+        let mut w = StreamWriter::new(&mut sink, compressor(), 1).unwrap();
+        w.write_values(&data).unwrap();
+        w.finish().unwrap();
+        // Re-walk the framing to locate each payload.
+        let mut ranges = Vec::new();
+        let mut pos = 6; // magic + version
+        loop {
+            let mut p = pos;
+            let len = {
+                let mut slice = &sink[p..];
+                let before = slice.len();
+                let v = read_varint(&mut slice).unwrap() as usize;
+                p += before - slice.len();
+                v
+            };
+            if len == 0 {
+                break;
+            }
+            ranges.push((p, p + len));
+            pos = p + len;
+        }
+        assert_eq!(ranges.len(), segments);
+        (sink, ranges)
+    }
+
     #[test]
     fn roundtrip_multi_segment() {
         let data = patterned(36 * 23 + 17); // partial tail everywhere
         let mut sink = Vec::new();
-        let mut w = StreamWriter::new(&mut sink, compressor(), 4);
+        let mut w = StreamWriter::new(&mut sink, compressor(), 4).unwrap();
         // Feed in awkward chunk sizes.
         for chunk in data.chunks(77) {
             w.write_values(chunk).unwrap();
@@ -233,7 +440,7 @@ mod tests {
     #[test]
     fn empty_stream() {
         let mut sink = Vec::new();
-        let w = StreamWriter::new(&mut sink, compressor(), 2);
+        let w = StreamWriter::new(&mut sink, compressor(), 2).unwrap();
         w.finish().unwrap();
         let restored = StreamReader::new(sink.as_slice())
             .unwrap()
@@ -243,10 +450,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_segment_size_is_an_error_not_a_panic() {
+        let mut sink = Vec::new();
+        let err = match StreamWriter::new(&mut sink, compressor(), 0) {
+            Err(e) => e,
+            Ok(_) => panic!("zero blocks_per_segment must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
     fn segment_sizes_respected() {
         let data = patterned(36 * 10);
         let mut sink = Vec::new();
-        let mut w = StreamWriter::new(&mut sink, compressor(), 3);
+        let mut w = StreamWriter::new(&mut sink, compressor(), 3).unwrap();
         w.write_values(&data).unwrap();
         w.finish().unwrap();
         let mut r = StreamReader::new(sink.as_slice()).unwrap();
@@ -256,13 +473,14 @@ mod tests {
         }
         // 10 blocks at 3 per segment: 3+3+3+1 blocks => 108,108,108,36.
         assert_eq!(lens, vec![108, 108, 108, 36]);
+        assert_eq!(r.segments_read(), 4);
     }
 
     #[test]
     fn truncation_detected() {
         let data = patterned(36 * 8);
         let mut sink = Vec::new();
-        let mut w = StreamWriter::new(&mut sink, compressor(), 2);
+        let mut w = StreamWriter::new(&mut sink, compressor(), 2).unwrap();
         w.write_values(&data).unwrap();
         w.finish().unwrap();
         // Cut before the terminator.
@@ -290,12 +508,137 @@ mod tests {
     }
 
     #[test]
+    fn hostile_declared_length_stays_bounded() {
+        // Header + a segment claiming ~512 MiB with 3 real bytes behind
+        // it: the reader must fail with Truncated after at most one
+        // allocation step, not reserve the declared size.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STREAM_MAGIC);
+        bytes.push(STREAM_VERSION);
+        write_varint(&mut bytes, 512 << 20).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.next_segment().unwrap_err(), DecompressError::Truncated);
+        // And a length over the hard ceiling is rejected outright.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STREAM_MAGIC);
+        bytes.push(STREAM_VERSION);
+        write_varint(&mut bytes, (2u64 << 30) + 1).unwrap();
+        let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            r.next_segment().unwrap_err(),
+            DecompressError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn skip_reader_recovers_around_damaged_segment() {
+        let segments = 16;
+        let (mut bytes, ranges) = stream_with_segments(segments);
+        let clean: Vec<Vec<f64>> = {
+            let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+            std::iter::from_fn(|| r.next_segment().unwrap()).collect()
+        };
+        // Flip one bit in segment 7's payload (inside a block payload,
+        // well past the container header).
+        let (start, end) = ranges[7];
+        bytes[(start + end) / 2] ^= 0x04;
+
+        let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+        let mut recovered = Vec::new();
+        let mut damaged = Vec::new();
+        while let Some(outcome) = r.next_segment_or_skip().unwrap() {
+            match outcome.values {
+                Ok(v) => recovered.push((outcome.index, v)),
+                Err(e) => damaged.push((outcome.index, e)),
+            }
+        }
+        assert_eq!(damaged.len(), 1, "exactly one damaged segment");
+        assert_eq!(damaged[0].0, 7);
+        assert_eq!(recovered.len(), segments - 1);
+        for (idx, values) in &recovered {
+            assert_eq!(
+                values, &clean[*idx],
+                "undamaged segment {idx} must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn salvage_keeps_intact_segments_verbatim() {
+        let segments = 16;
+        let (mut bytes, ranges) = stream_with_segments(segments);
+        let original_segment_bytes: Vec<Vec<u8>> = ranges
+            .iter()
+            .map(|&(s, e)| bytes[s..e].to_vec())
+            .collect();
+        let (start, end) = ranges[3];
+        bytes[(start + end) / 2] ^= 0x40;
+
+        let mut out = Vec::new();
+        let report = salvage(bytes.as_slice(), &mut out).unwrap();
+        assert_eq!(report.kept, segments - 1);
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].0, 3);
+        assert!(!report.tail_lost);
+        assert!(!report.is_clean());
+
+        // The salvaged stream is valid, and every kept segment's bytes
+        // match the original exactly.
+        let mut r = StreamReader::new(out.as_slice()).unwrap();
+        let mut kept_payloads = Vec::new();
+        while let Some(container) = r.next_segment_bytes().unwrap() {
+            kept_payloads.push(container);
+        }
+        let expected: Vec<&Vec<u8>> = original_segment_bytes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, b)| b)
+            .collect();
+        assert_eq!(kept_payloads.len(), expected.len());
+        for (got, want) in kept_payloads.iter().zip(expected) {
+            assert_eq!(got, want, "salvage must copy verbatim");
+        }
+
+        // Salvaging an already-clean salvage output is a no-op.
+        let mut out2 = Vec::new();
+        let report2 = salvage(out.as_slice(), &mut out2).unwrap();
+        assert!(report2.is_clean());
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn salvage_truncated_tail() {
+        let (bytes, ranges) = stream_with_segments(4);
+        // Cut mid-way through segment 2's payload.
+        let cut = &bytes[..(ranges[2].0 + ranges[2].1) / 2];
+        let mut out = Vec::new();
+        let report = salvage(cut, &mut out).unwrap();
+        assert_eq!(report.kept, 2);
+        assert!(report.tail_lost);
+        // Output is still a valid, terminated stream.
+        let restored = StreamReader::new(out.as_slice())
+            .unwrap()
+            .read_to_vec()
+            .unwrap();
+        assert_eq!(restored.len(), 36 * 2);
+    }
+
+    #[test]
+    fn salvage_rejects_non_streams() {
+        let mut out = Vec::new();
+        let err = salvage(&b"not a stream at all"[..], &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn file_roundtrip() {
         let path = std::env::temp_dir().join(format!("pastri-stream-{}.pstrs", std::process::id()));
         let data = patterned(36 * 5 + 11);
         {
             let file = std::fs::File::create(&path).unwrap();
-            let mut w = StreamWriter::new(io::BufWriter::new(file), compressor(), 2);
+            let mut w = StreamWriter::new(io::BufWriter::new(file), compressor(), 2).unwrap();
             w.write_values(&data).unwrap();
             w.finish().unwrap();
         }

@@ -323,6 +323,11 @@ fn read_truncated(r: &mut BitReader<'_>) -> Result<f64, SzError> {
     if keep == 63 {
         return Ok(f64::from_bits(r.read_bits(64)?));
     }
+    if keep > 52 {
+        // 53..=62 is unreachable from the encoder (only 0..=52 or the
+        // escape 63): a corrupted stream, not a value.
+        return Err(SzError::Corrupt("mantissa bit count out of range"));
+    }
     let sign = r.read_bits(1)?;
     let exp = r.read_bits(11)?;
     let kept = if keep == 0 { 0 } else { r.read_bits(keep)? };

@@ -1,0 +1,238 @@
+//! Corruption resilience, end to end: golden v1 back-compat, single-bit
+//! damage recovery across a 16-segment stream, salvage, and seeded
+//! multi-bit fault injection.
+//!
+//! The golden fixtures under `tests/golden/` were written by the v1
+//! encoder (before checksums existed) and are committed as bytes: they
+//! pin the promise that v1 containers and streams remain decodable by
+//! every future reader.
+
+use std::path::Path;
+
+use pastri::stream::{salvage, StreamReader, StreamWriter};
+use pastri::{BlockGeometry, Compressor};
+use proptest::prelude::*;
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden fixture {name}: {e}"))
+}
+
+fn golden_original() -> Vec<f64> {
+    golden("v1_original.f64")
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn golden_v1_container_still_decodes() {
+    let bytes = golden("v1_container.pastri");
+    let original = golden_original();
+
+    let info = pastri::inspect(&bytes).unwrap();
+    assert_eq!(info.version, 1, "fixture must be a v1 container");
+    assert_eq!(info.original_len, original.len());
+
+    let values = pastri::decompress(&bytes).unwrap();
+    assert_eq!(values.len(), original.len());
+    for (a, b) in original.iter().zip(&values) {
+        assert!(
+            (a - b).abs() <= info.error_bound,
+            "v1 decode must honor the recorded bound"
+        );
+    }
+
+    // The lossy path agrees and reports a clean bill of health.
+    let lossy = pastri::decompress_lossy(&bytes).unwrap();
+    assert!(lossy.is_clean());
+    assert_eq!(lossy.values, values);
+}
+
+#[test]
+fn golden_v1_stream_still_decodes() {
+    let bytes = golden("v1_stream.pstrs");
+    let original = golden_original();
+    let values = StreamReader::new(bytes.as_slice())
+        .unwrap()
+        .read_to_vec()
+        .unwrap();
+    assert_eq!(values.len(), original.len());
+    let info = pastri::inspect(&golden("v1_container.pastri")).unwrap();
+    for (a, b) in original.iter().zip(&values) {
+        assert!((a - b).abs() <= info.error_bound);
+    }
+}
+
+/// A v1 payload has no checksums, so flipped bits that keep the encoding
+/// self-consistent cannot be *detected* — but they must never panic the
+/// decoder. (v2's detection guarantee is proven below.)
+#[test]
+fn golden_v1_damage_never_panics() {
+    let clean = golden("v1_container.pastri");
+    for seed in 0..64u64 {
+        let mut bytes = clean.clone();
+        faults::flip_bits(&mut bytes, 4, 3, seed);
+        let _ = pastri::decompress(&bytes);
+        let _ = pastri::decompress_lossy(&bytes);
+        let _ = pastri::inspect(&bytes);
+    }
+}
+
+const BLOCK_VALUES: usize = 36; // BlockGeometry::new(4, 9)
+
+fn test_compressor() -> Compressor {
+    Compressor::new(BlockGeometry::new(4, 9), 1e-10)
+}
+
+fn patterned(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i % 71) as f64 * 0.17).sin() * 3e-6)
+        .collect()
+}
+
+/// Builds a stream of `segments` one-block segments and locates each
+/// segment's container payload `[start, end)` by re-walking the framing
+/// (varint length + payload, zero terminator).
+fn stream_with_ranges(segments: usize) -> (Vec<u8>, Vec<(usize, usize)>) {
+    let mut sink = Vec::new();
+    let mut w = StreamWriter::new(&mut sink, test_compressor(), 1).unwrap();
+    w.write_values(&patterned(BLOCK_VALUES * segments)).unwrap();
+    w.finish().unwrap();
+
+    let mut ranges = Vec::new();
+    let mut pos = 6; // "PSTRS" + version byte
+    loop {
+        let (len, after) = read_varint(&sink, pos);
+        if len == 0 {
+            break;
+        }
+        ranges.push((after, after + len));
+        pos = after + len;
+    }
+    assert_eq!(ranges.len(), segments);
+    (sink, ranges)
+}
+
+/// LEB128 varint at `pos`; returns (value, offset past it).
+fn read_varint(bytes: &[u8], mut pos: usize) -> (usize, usize) {
+    let mut v = 0usize;
+    let mut shift = 0;
+    loop {
+        let b = bytes[pos];
+        pos += 1;
+        v |= ((b & 0x7f) as usize) << shift;
+        if b & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
+    }
+}
+
+fn decode_all_segments(bytes: &[u8]) -> Vec<Vec<f64>> {
+    let mut r = StreamReader::new(bytes).unwrap();
+    let mut out = Vec::new();
+    while let Some(seg) = r.next_segment().unwrap() {
+        out.push(seg);
+    }
+    out
+}
+
+/// The PR's headline acceptance scenario: 16 segments, one flipped bit,
+/// 15 segments recovered bit-exact and exactly one reported damaged.
+#[test]
+fn sixteen_segments_one_flip_recovers_fifteen() {
+    let segments = 16;
+    let (mut bytes, ranges) = stream_with_ranges(segments);
+    let clean = decode_all_segments(&bytes);
+
+    let (start, end) = ranges[7];
+    bytes[(start + end) / 2] ^= 0x08; // deep in a block payload
+
+    let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+    let mut ok = 0;
+    let mut damaged = Vec::new();
+    while let Some(outcome) = r.next_segment_or_skip().unwrap() {
+        match outcome.values {
+            Ok(v) => {
+                assert_eq!(v, clean[outcome.index], "recovered segments are bit-exact");
+                ok += 1;
+            }
+            Err(e) => damaged.push((outcome.index, e)),
+        }
+    }
+    assert_eq!(ok, segments - 1);
+    assert_eq!(damaged.len(), 1);
+    assert_eq!(damaged[0].0, 7);
+}
+
+/// ... and `salvage` turns that damaged stream into a valid one holding
+/// the 15 intact segments, verbatim.
+#[test]
+fn salvage_then_strict_decode_succeeds() {
+    let segments = 16;
+    let (mut bytes, ranges) = stream_with_ranges(segments);
+    let clean = decode_all_segments(&bytes);
+
+    let (start, end) = ranges[7];
+    bytes[(start + end) / 2] ^= 0x08;
+
+    let mut repaired = Vec::new();
+    let report = salvage(bytes.as_slice(), &mut repaired).unwrap();
+    assert_eq!(report.kept, segments - 1);
+    assert_eq!(report.dropped.len(), 1);
+    assert_eq!(report.dropped[0].0, 7);
+    assert!(!report.tail_lost);
+
+    // The repaired stream decodes *strictly* — no skipping needed — and
+    // yields the 15 intact segments bit-exact.
+    let recovered = decode_all_segments(&repaired);
+    let expected: Vec<&Vec<f64>> = clean
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 7)
+        .map(|(_, v)| v)
+        .collect();
+    assert_eq!(recovered.len(), expected.len());
+    for (got, want) in recovered.iter().zip(expected) {
+        assert_eq!(&got, &want);
+    }
+}
+
+proptest! {
+    /// Seeded fault injection: flip `k` random bits inside one segment's
+    /// payload. The damaged segment must be reported (v2 checksums catch
+    /// every corruption), every other segment must come back bit-exact,
+    /// and nothing may panic.
+    #[test]
+    fn flipped_bits_are_contained_to_their_segment(
+        seed in any::<u64>(),
+        target in 0usize..8,
+        k in 1usize..12,
+    ) {
+        let segments = 8;
+        let (mut bytes, ranges) = stream_with_ranges(segments);
+        let clean = decode_all_segments(&bytes);
+
+        let (start, end) = ranges[target];
+        faults::flip_bits(&mut bytes[start..end], 0, k, seed);
+
+        let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+        let mut seen = vec![false; segments];
+        while let Some(outcome) = r.next_segment_or_skip().unwrap() {
+            seen[outcome.index] = true;
+            match outcome.values {
+                Ok(v) => {
+                    prop_assert_ne!(outcome.index, target,
+                        "a corrupted v2 segment must never decode silently");
+                    prop_assert_eq!(&v, &clean[outcome.index]);
+                }
+                Err(_) => prop_assert_eq!(outcome.index, target,
+                    "damage must be attributed to the flipped segment"),
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every segment must be visited");
+    }
+}

@@ -1,6 +1,8 @@
 //! Fuzz-style robustness: every decoder in the workspace must return an
 //! error (never panic, hang, or blow up memory) on arbitrary byte soup —
-//! with and without valid-looking magic prefixes.
+//! with and without valid-looking magic prefixes. Length fields are
+//! attacker-controlled input: decoders must validate them against the
+//! bytes actually present *before* allocating.
 
 use proptest::prelude::*;
 
@@ -33,6 +35,61 @@ proptest! {
                     _ => break,
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pastri_lossy_decoder_never_panics(mut bytes in soup(), version in 1u8..3) {
+        if bytes.len() >= 5 {
+            bytes[..4].copy_from_slice(b"PSTR");
+            bytes[4] = version; // exercise both the v1 and v2 paths
+        }
+        if let Ok(lossy) = pastri::decompress_lossy(&bytes) {
+            // Whatever survives must be internally consistent.
+            assert_eq!(
+                lossy.damaged(),
+                lossy.outcomes.iter().filter(|o| o.error.is_some()).count()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_skip_and_salvage_never_panic(mut bytes in soup(), with_magic in any::<bool>()) {
+        if with_magic && bytes.len() >= 6 {
+            bytes[..6].copy_from_slice(b"PSTRS\x01");
+        }
+        if let Ok(mut r) = pastri::stream::StreamReader::new(bytes.as_slice()) {
+            for _ in 0..64 {
+                match r.next_segment_or_skip() {
+                    Ok(Some(_)) => {}
+                    _ => break,
+                }
+            }
+        }
+        // Salvage of soup must never panic, and when it succeeds its
+        // output must be a valid stream.
+        let mut sink = Vec::new();
+        if pastri::stream::salvage(bytes.as_slice(), &mut sink).is_ok() {
+            let mut r = pastri::stream::StreamReader::new(sink.as_slice()).unwrap();
+            while let Ok(Some(_)) = r.next_segment() {}
+        }
+    }
+
+    #[test]
+    fn eri_store_reader_never_panics(mut bytes in soup(), version in 0u8..3) {
+        if bytes.len() >= 8 {
+            match version {
+                1 => bytes[..8].copy_from_slice(b"ERISTOR1"),
+                2 => bytes[..8].copy_from_slice(b"ERISTOR2"),
+                _ => {}
+            }
+        }
+        let cursor = std::io::Cursor::new(bytes);
+        if let Ok(mut store) = eri_store::StoreReader::from_source(
+            cursor,
+            eri_store::RetryPolicy::none(),
+        ) {
+            let _ = store.verify();
         }
     }
 
