@@ -1,0 +1,177 @@
+//! Parallel compression throughput — blocks/s and MB/s vs thread count.
+//!
+//! Seeds the perf trajectory for the paper's Sec. IV-C/Fig. 9cd
+//! throughput claims now that the runtime is genuinely parallel:
+//! compresses the `(dd|dd)` and `(ff|ff)` model datasets under crews of
+//! 1/2/4/8 threads (both the in-memory container fan-out and the
+//! streaming pipeline) and writes `BENCH_parallel.json`.
+//!
+//! Numbers are *measured on this machine* — the JSON records
+//! `available_parallelism` so a reader can tell a 1-core container
+//! (where every speedup is ~1.0 and the pool only adds overhead) from
+//! real parallel hardware. `PASTRI_BENCH_SCALE` scales the dataset;
+//! `PASTRI_BENCH_REPS` the repetitions per measurement (default 3,
+//! best-of).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::{bench_scale, geometry_of, print_header, print_row, DD_BLOCKS, FF_BLOCKS};
+use pastri::stream::ParallelStreamWriter;
+use pastri::Compressor;
+use qchem::basis::BfConfig;
+use qchem::dataset::EriDataset;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const EB: f64 = 1e-10;
+
+struct Measurement {
+    threads: usize,
+    container_blocks_per_s: f64,
+    container_mb_per_s: f64,
+    stream_blocks_per_s: f64,
+    stream_mb_per_s: f64,
+}
+
+fn reps() -> usize {
+    std::env::var("PASTRI_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Best-of-`reps` wall time for `op`, in seconds.
+fn best_secs(reps: usize, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        op();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure(config: BfConfig, num_blocks: usize) -> (usize, Vec<Measurement>) {
+    let ds = EriDataset::generate_model(config, num_blocks, 0x5eed);
+    let compressor = Compressor::new(geometry_of(config), EB);
+    let mb = (ds.values.len() * 8) as f64 / 1e6;
+    let reps = reps();
+    let rows = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let container_secs = best_secs(reps, || {
+                let bytes = pool.install(|| compressor.compress(&ds.values));
+                std::hint::black_box(bytes);
+            });
+            let stream_secs = best_secs(reps, || {
+                let mut w =
+                    ParallelStreamWriter::new(std::io::sink(), compressor, 8, threads).unwrap();
+                for chunk in ds.values.chunks(8 * compressor.geometry().block_size()) {
+                    w.write_values(chunk).unwrap();
+                }
+                w.finish().unwrap();
+            });
+            Measurement {
+                threads,
+                container_blocks_per_s: num_blocks as f64 / container_secs,
+                container_mb_per_s: mb / container_secs,
+                stream_blocks_per_s: num_blocks as f64 / stream_secs,
+                stream_mb_per_s: mb / stream_secs,
+            }
+        })
+        .collect();
+    (num_blocks, rows)
+}
+
+fn dataset_json(label: &str, num_blocks: usize, rows: &[Measurement]) -> String {
+    let base = rows
+        .iter()
+        .find(|m| m.threads == 1)
+        .expect("thread count 1 is always measured");
+    let mut s = String::new();
+    let _ = write!(s, "    {{\n      \"dataset\": \"{label}\",\n");
+    let _ = write!(s, "      \"blocks\": {num_blocks},\n      \"runs\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "        {{\"threads\": {}, \"container_blocks_per_s\": {:.1}, \
+             \"container_mb_per_s\": {:.2}, \"stream_blocks_per_s\": {:.1}, \
+             \"stream_mb_per_s\": {:.2}, \"container_speedup_vs_1\": {:.3}, \
+             \"stream_speedup_vs_1\": {:.3}}}{}",
+            m.threads,
+            m.container_blocks_per_s,
+            m.container_mb_per_s,
+            m.stream_blocks_per_s,
+            m.stream_mb_per_s,
+            m.container_blocks_per_s / base.container_blocks_per_s,
+            m.stream_blocks_per_s / base.stream_blocks_per_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("      ]\n    }");
+    s
+}
+
+fn main() {
+    let hw_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("Parallel compression throughput (EB = {EB:.0e}, best of {} reps)", reps());
+    println!("available_parallelism on this machine: {hw_threads}\n");
+
+    let scale = bench_scale();
+    let datasets = [
+        ("(dd|dd)", BfConfig::dd_dd(), ((DD_BLOCKS as f64 * scale).max(4.0)) as usize),
+        ("(ff|ff)", BfConfig::ff_ff(), ((FF_BLOCKS as f64 * scale).max(4.0)) as usize),
+    ];
+
+    let widths = [9usize, 8, 16, 12, 16, 12];
+    let mut json_sections = Vec::new();
+    for (label, config, blocks) in datasets {
+        let (num_blocks, rows) = measure(config, blocks);
+        println!("{label} — {num_blocks} blocks of {}", config.block_size());
+        print_header(
+            &["", "threads", "cont blk/s", "cont MB/s", "strm blk/s", "strm MB/s"],
+            &widths,
+        );
+        for m in &rows {
+            print_row(
+                &[
+                    String::new(),
+                    m.threads.to_string(),
+                    format!("{:.0}", m.container_blocks_per_s),
+                    format!("{:.1}", m.container_mb_per_s),
+                    format!("{:.0}", m.stream_blocks_per_s),
+                    format!("{:.1}", m.stream_mb_per_s),
+                ],
+                &widths,
+            );
+        }
+        let base = &rows[0];
+        let at4 = rows.iter().find(|m| m.threads == 4).unwrap();
+        println!(
+            "  container speedup at 4 threads: {:.2}x\n",
+            at4.container_blocks_per_s / base.container_blocks_per_s
+        );
+        json_sections.push(dataset_json(label, num_blocks, &rows));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_throughput\",\n  \"error_bound\": {EB:e},\n  \
+         \"available_parallelism\": {hw_threads},\n  \"reps\": {},\n  \
+         \"scale\": {scale},\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        reps(),
+        json_sections.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("writing BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+    if hw_threads < 4 {
+        println!(
+            "note: only {hw_threads} hardware thread(s) available — speedups near 1.0 \
+             reflect the hardware, not the runtime"
+        );
+    }
+}

@@ -68,7 +68,31 @@ fn parse_options(args: &Args) -> Result<CompressorOptions, CliError> {
     })
 }
 
-/// `pastri compress <in.f64> <out.pastri> --config ... [--eb ...]`.
+/// Either streaming writer behind one interface: `--threads` picks the
+/// implementation, the output bytes are identical either way.
+enum AnyStreamWriter<W: Write> {
+    Seq(pastri::stream::StreamWriter<W>),
+    Par(pastri::stream::ParallelStreamWriter<W>),
+}
+
+impl<W: Write> AnyStreamWriter<W> {
+    fn write_values(&mut self, values: &[f64]) -> std::io::Result<()> {
+        match self {
+            Self::Seq(w) => w.write_values(values),
+            Self::Par(w) => w.write_values(values),
+        }
+    }
+
+    fn finish(self) -> std::io::Result<W> {
+        match self {
+            Self::Seq(w) => w.finish(),
+            Self::Par(w) => w.finish(),
+        }
+    }
+}
+
+/// `pastri compress <in.f64> <out.pastri> --config ... [--eb ...]
+/// [--threads N] [--stream [--segment-blocks B]]`.
 pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let input = args.positional(0, "in.f64")?;
@@ -78,6 +102,9 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if !(eb.is_finite() && eb > 0.0) {
         return Err(CliError::new("--eb must be finite and > 0"));
     }
+    // 0 = auto (RAYON_NUM_THREADS, then available parallelism). Output is
+    // byte-identical at every thread count.
+    let threads = args.get_usize("threads", 0)?;
     let compressor = Compressor::with_options(
         BlockGeometry::from_dims(config.dims()),
         eb,
@@ -89,11 +116,26 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let infile = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
         let outfile =
             fs::File::create(output).map_err(|e| CliError::new(format!("{output}: {e}")))?;
-        let mut writer = pastri::stream::StreamWriter::new(
-            std::io::BufWriter::new(outfile),
-            compressor,
-            segment_blocks,
-        )?;
+        let sink = std::io::BufWriter::new(outfile);
+        let resolved = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        };
+        let mut writer = if resolved <= 1 {
+            AnyStreamWriter::Seq(pastri::stream::StreamWriter::new(
+                sink,
+                compressor,
+                segment_blocks,
+            )?)
+        } else {
+            AnyStreamWriter::Par(pastri::stream::ParallelStreamWriter::new(
+                sink,
+                compressor,
+                segment_blocks,
+                resolved,
+            )?)
+        };
         let mut reader = std::io::BufReader::new(infile);
         let mut buf = vec![0u8; config.block_size() * 8];
         let mut total_in = 0u64;
@@ -124,7 +166,16 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     }
     let data = read_f64_file(input)?;
-    let (bytes, stats) = compressor.compress_with_stats(&data);
+    let (bytes, stats) = if threads > 0 {
+        // Pin the in-memory fan-out's crew size for this compression.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| CliError::new(format!("thread pool: {e}")))?;
+        pool.install(|| compressor.compress_with_stats(&data))
+    } else {
+        compressor.compress_with_stats(&data)
+    };
     fs::write(output, &bytes).map_err(|e| CliError::new(format!("writing {output}: {e}")))?;
     writeln!(
         out,
@@ -495,6 +546,45 @@ mod tests {
         }
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("streamed"), "{text}");
+    }
+
+    #[test]
+    fn threads_flag_output_is_byte_identical() {
+        let dir = tmpdir();
+        let raw = dir.join("t.f64").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "9", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        // Container and stream outputs must not depend on --threads.
+        for stream in [false, true] {
+            let mut baseline: Option<Vec<u8>> = None;
+            for threads in ["1", "2", "8"] {
+                let comp = dir
+                    .join(format!("t-{stream}-{threads}.out"))
+                    .to_string_lossy()
+                    .into_owned();
+                let mut argv = vec![
+                    raw.clone(),
+                    comp.clone(),
+                    "--config".into(),
+                    "dddd".into(),
+                    "--threads".into(),
+                    threads.into(),
+                ];
+                if stream {
+                    argv.extend(["--stream".into(), "--segment-blocks".into(), "2".into()]);
+                }
+                compress(&argv, &mut out).unwrap();
+                let bytes = fs::read(&comp).unwrap();
+                match &baseline {
+                    None => baseline = Some(bytes),
+                    Some(b) => assert_eq!(&bytes, b, "stream={stream} threads={threads}"),
+                }
+            }
+        }
     }
 
     #[test]

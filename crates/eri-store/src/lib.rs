@@ -49,6 +49,7 @@ use std::time::Duration;
 
 use checksum::crc32;
 use pastri::{BlockGeometry, Compressor};
+use rayon::prelude::*;
 
 const MAGIC_V2: [u8; 8] = *b"ERISTOR2";
 const MAGIC_V1: [u8; 8] = *b"ERISTOR1";
@@ -301,6 +302,35 @@ impl StoreWriter {
         self.index
             .push((self.cursor, payload.len() as u64, crc32(&payload)));
         self.cursor += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Compresses and appends a batch of full blocks, fanning the
+    /// compression out across the parallel runtime (the file writes stay
+    /// sequential, so the store is byte-identical to appending the same
+    /// blocks one at a time).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` is not a multiple of
+    /// `geometry.block_size()`.
+    pub fn append_blocks(&mut self, values: &[f64]) -> Result<(), StoreError> {
+        let bs = self.compressor.geometry().block_size();
+        assert_eq!(
+            values.len() % bs,
+            0,
+            "append_blocks needs whole blocks ({bs} values each)"
+        );
+        let compressor = &self.compressor;
+        let payloads: Vec<Vec<u8>> = values
+            .par_chunks(bs)
+            .map(|block| compressor.compress(block))
+            .collect();
+        for payload in payloads {
+            self.file.write_all(&payload)?;
+            self.index
+                .push((self.cursor, payload.len() as u64, crc32(&payload)));
+            self.cursor += payload.len() as u64;
+        }
         Ok(())
     }
 
@@ -624,6 +654,28 @@ mod tests {
         let r = StoreReader::from_source(Cursor::new(bytes.clone()), RetryPolicy::none()).unwrap();
         let spans = r.index.iter().map(|e| (e.offset, e.len)).collect();
         (bytes, spans)
+    }
+
+    #[test]
+    fn batch_append_is_byte_identical_to_single_appends() {
+        let geom = BlockGeometry::new(6, 8);
+        let blocks: Vec<Vec<f64>> = (0..16).map(|b| patterned_block(geom, b)).collect();
+        let flat: Vec<f64> = blocks.iter().flatten().copied().collect();
+        let (expected, _) = store_bytes(geom, 1e-10, &blocks);
+
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let path = tmp(&format!("batch-{threads}"));
+            let mut w = StoreWriter::create(&path, geom, 1e-10).unwrap();
+            pool.install(|| w.append_blocks(&flat)).unwrap();
+            assert_eq!(w.finish().unwrap(), 16);
+            let bytes = std::fs::read(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            assert_eq!(bytes, expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -211,17 +211,7 @@ impl Compressor {
 
         // Assemble the container.
         let mut out = Vec::with_capacity(32 + results.iter().map(|(p, _)| p.len() + 9).sum::<usize>());
-        out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
-        out.push(self.options.metric.wire_id());
-        out.push(self.options.tree.wire_id());
-        out.extend_from_slice(&self.quant.eb().to_le_bytes());
-        write_varint(&mut out, self.geometry.num_subblocks as u64);
-        write_varint(&mut out, self.geometry.subblock_size as u64);
-        write_varint(&mut out, data.len() as u64);
-        write_varint(&mut out, num_blocks as u64);
-        let header_crc = crc32(&out);
-        out.extend_from_slice(&header_crc.to_le_bytes());
+        self.write_header(&mut out, data.len(), num_blocks);
         let header_len = out.len();
         for (payload, _) in &results {
             write_varint(&mut out, payload.len() as u64);
@@ -242,10 +232,90 @@ impl Compressor {
         (out, ())
     }
 
+    /// Writes the v2 container header (magic through header CRC32).
+    fn write_header(&self, out: &mut Vec<u8>, data_len: usize, num_blocks: usize) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.options.metric.wire_id());
+        out.push(self.options.tree.wire_id());
+        out.extend_from_slice(&self.quant.eb().to_le_bytes());
+        write_varint(out, self.geometry.num_subblocks as u64);
+        write_varint(out, self.geometry.subblock_size as u64);
+        write_varint(out, data_len as u64);
+        write_varint(out, num_blocks as u64);
+        let header_crc = crc32(out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+    }
+
+    /// Sequential [`compress`](Self::compress) into a caller-owned output
+    /// buffer, reusing `scratch` across calls so steady-state compression
+    /// performs no per-block allocations. Output is byte-identical to
+    /// `compress` — this is what the parallel streaming pipeline's workers
+    /// run, and the determinism guarantee rests on that identity.
+    pub fn compress_with_scratch(
+        &self,
+        data: &[f64],
+        out: &mut Vec<u8>,
+        scratch: &mut CompressScratch,
+    ) {
+        let bs = self.geometry.block_size();
+        let num_blocks = self.geometry.blocks_for_len(data.len());
+        out.clear();
+        self.write_header(out, data.len(), num_blocks);
+        for b in 0..num_blocks {
+            let start = b * bs;
+            let end = ((b + 1) * bs).min(data.len());
+            scratch.writer.clear();
+            if end - start == bs {
+                compress_block(
+                    &data[start..end],
+                    &self.geometry,
+                    &self.quant,
+                    &self.options,
+                    &mut scratch.writer,
+                    None,
+                );
+            } else {
+                scratch.padded.clear();
+                scratch.padded.resize(bs, 0.0);
+                scratch.padded[..end - start].copy_from_slice(&data[start..end]);
+                compress_block(
+                    &scratch.padded,
+                    &self.geometry,
+                    &self.quant,
+                    &self.options,
+                    &mut scratch.writer,
+                    None,
+                );
+            }
+            let payload = scratch.writer.aligned_bytes();
+            write_varint(out, payload.len() as u64);
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+    }
+
     /// Decompresses a PaSTRI container produced by any [`Compressor`];
     /// geometry, error bound, and tree are read from the header.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Vec<f64>, DecompressError> {
         decompress(bytes)
+    }
+}
+
+/// Reusable per-worker buffers for
+/// [`Compressor::compress_with_scratch`]: one bit writer and one padded
+/// tail-block buffer, both of which keep their allocations across calls.
+#[derive(Debug, Default)]
+pub struct CompressScratch {
+    writer: BitWriter,
+    padded: Vec<f64>,
+}
+
+impl CompressScratch {
+    /// Creates empty scratch space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -662,6 +732,20 @@ mod tests {
             out.extend_from_slice(frame.payload);
         }
         out
+    }
+
+    #[test]
+    fn scratch_compress_is_byte_identical_including_tail_blocks() {
+        let geom = BlockGeometry::new(4, 9); // block = 36
+        let c = Compressor::new(geom, 1e-10);
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        // Reuse the same scratch across lengths so stale state would show.
+        for len in [0usize, 1, 35, 36, 37, 71, 360] {
+            let data: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13).sin() * 1e-6).collect();
+            c.compress_with_scratch(&data, &mut out, &mut scratch);
+            assert_eq!(out, c.compress(&data), "len={len}");
+        }
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! reader can fan them out across threads or resume after a partial
 //! read; memory never exceeds one segment each way.
 //!
+//! Two writers produce this format: the sequential [`StreamWriter`] and
+//! the multithreaded [`ParallelStreamWriter`] (reader → N compress
+//! workers → in-order writer). Their outputs are byte-identical at any
+//! thread count, so the choice is purely a throughput knob.
+//!
 //! Integrity comes from the embedded containers: each segment payload is
 //! a v2 container carrying its own header and per-block CRC32s, so a
 //! flipped bit inside a segment is detected there. Because segments are
@@ -40,9 +45,12 @@
 //! assert_eq!(restored.len(), 200);
 //! ```
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
-use crate::container::Compressor;
+use crate::container::{CompressScratch, Compressor};
 use crate::error::DecompressError;
 
 const STREAM_MAGIC: [u8; 5] = *b"PSTRS";
@@ -139,6 +147,218 @@ impl<W: Write> StreamWriter<W> {
         let container = self.compressor.compress(values);
         write_varint(&mut self.sink, container.len() as u64)?;
         self.sink.write_all(&container)
+    }
+}
+
+/// A segment handed to a compress worker: its stream position and values.
+type SegmentJob = (u64, Vec<f64>);
+/// A compressed segment coming back: stream position and container bytes.
+type SegmentDone = (u64, Vec<u8>);
+
+/// Parallel [`StreamWriter`]: reader thread → N compress workers →
+/// in-order writer, producing *byte-identical* output to the sequential
+/// writer at any thread count.
+///
+/// Full segments are fanned out over a bounded channel to persistent
+/// worker threads (each reusing a [`CompressScratch`], so steady-state
+/// compression does no per-block allocations); finished containers come
+/// back tagged with their stream position and are written strictly in
+/// order through a reorder buffer. The bounded job queue gives
+/// backpressure: a slow sink or crew throttles `write_values` instead of
+/// buffering the dataset.
+///
+/// A panic in any worker resurfaces on the caller (from `write_values`
+/// or [`finish`](Self::finish)) after the crew drains — never a deadlock.
+pub struct ParallelStreamWriter<W: Write> {
+    sink: W,
+    /// Pending raw values (less than one segment).
+    buffer: Vec<f64>,
+    segment_values: usize,
+    started: bool,
+    /// Sequence number the next submitted segment gets.
+    next_seq: u64,
+    /// Sequence number the next segment written to the sink must have.
+    next_write: u64,
+    /// Finished segments that arrived ahead of `next_write`.
+    reorder: BTreeMap<u64, Vec<u8>>,
+    /// `None` once [`finish`](Self::finish) has closed the queue.
+    job_tx: Option<mpsc::SyncSender<SegmentJob>>,
+    done_rx: mpsc::Receiver<SegmentDone>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<W: Write> ParallelStreamWriter<W> {
+    /// Creates a parallel writer with `threads` compress workers (0 =
+    /// resolve like the runtime: `RAYON_NUM_THREADS`, then available
+    /// parallelism).
+    ///
+    /// # Errors
+    /// `InvalidInput` if `blocks_per_segment` is zero.
+    pub fn new(
+        sink: W,
+        compressor: Compressor,
+        blocks_per_segment: usize,
+        threads: usize,
+    ) -> io::Result<Self> {
+        if blocks_per_segment == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "blocks_per_segment must be at least 1",
+            ));
+        }
+        let threads = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        }
+        .max(1);
+        let segment_values = compressor.geometry().block_size() * blocks_per_segment;
+        // Bounded job queue: at most ~2 segments in flight per worker.
+        let (job_tx, job_rx) = mpsc::sync_channel::<SegmentJob>(threads * 2);
+        let (done_tx, done_rx) = mpsc::channel::<SegmentDone>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
+                std::thread::spawn(move || {
+                    let mut scratch = CompressScratch::new();
+                    loop {
+                        // Hold the receiver lock only for the pickup, not
+                        // the compression.
+                        let job = {
+                            let guard = match job_rx.lock() {
+                                Ok(g) => g,
+                                // A sibling panicked during pickup; keep
+                                // draining so the pipeline still finishes.
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        let Ok((seq, values)) = job else { break };
+                        let mut container = Vec::new();
+                        // Byte-identical to `Compressor::compress`, which
+                        // is what makes parallel == sequential output.
+                        compressor.compress_with_scratch(&values, &mut container, &mut scratch);
+                        if done_tx.send((seq, container)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        Ok(Self {
+            sink,
+            buffer: Vec::with_capacity(segment_values),
+            segment_values,
+            started: false,
+            next_seq: 0,
+            next_write: 0,
+            reorder: BTreeMap::new(),
+            job_tx: Some(job_tx),
+            done_rx,
+            workers,
+        })
+    }
+
+    /// Appends values to the stream, fanning full segments out to the
+    /// worker crew. Blocks only when the bounded job queue is full.
+    ///
+    /// # Errors
+    /// `InvalidInput` after [`finish`](Self::finish); any sink I/O error.
+    /// A worker panic resurfaces here as a panic.
+    pub fn write_values(&mut self, values: &[f64]) -> io::Result<()> {
+        if self.job_tx.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "write after finish",
+            ));
+        }
+        self.buffer.extend_from_slice(values);
+        while self.buffer.len() >= self.segment_values {
+            let rest = self.buffer.split_off(self.segment_values);
+            let full = std::mem::replace(&mut self.buffer, rest);
+            self.submit(full)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail segment, drains the crew, writes the terminator,
+    /// and returns the sink. A worker panic resurfaces here as a panic.
+    pub fn finish(mut self) -> io::Result<W> {
+        if !self.buffer.is_empty() {
+            let tail = std::mem::take(&mut self.buffer);
+            self.submit(tail)?;
+        }
+        // Closing the queue lets workers drain out and exit.
+        drop(self.job_tx.take());
+        while self.next_write < self.next_seq {
+            match self.done_rx.recv() {
+                Ok((seq, container)) => {
+                    self.reorder.insert(seq, container);
+                    self.write_ready()?;
+                }
+                // All workers gone with segments still owed: crew failure.
+                Err(mpsc::RecvError) => return Err(self.crew_failure()),
+            }
+        }
+        for h in self.workers.drain(..) {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        self.ensure_header()?;
+        write_varint(&mut self.sink, 0)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Sends one segment to the crew and opportunistically drains
+    /// finished ones.
+    fn submit(&mut self, values: Vec<f64>) -> io::Result<()> {
+        let seq = self.next_seq;
+        let tx = self.job_tx.as_ref().expect("queue open while writing");
+        if tx.send((seq, values)).is_err() {
+            // Every worker is gone; surface why.
+            return Err(self.crew_failure());
+        }
+        self.next_seq += 1;
+        while let Ok((seq, container)) = self.done_rx.try_recv() {
+            self.reorder.insert(seq, container);
+        }
+        self.write_ready()
+    }
+
+    /// Writes every segment that is next in stream order.
+    fn write_ready(&mut self) -> io::Result<()> {
+        while let Some(container) = self.reorder.remove(&self.next_write) {
+            self.ensure_header()?;
+            write_varint(&mut self.sink, container.len() as u64)?;
+            self.sink.write_all(&container)?;
+            self.next_write += 1;
+        }
+        Ok(())
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.started {
+            self.sink.write_all(&STREAM_MAGIC)?;
+            self.sink.write_all(&[STREAM_VERSION])?;
+            self.started = true;
+        }
+        Ok(())
+    }
+
+    /// All workers exited while work was outstanding: joins the crew and
+    /// re-raises the first panic; if none panicked (can't happen today),
+    /// reports an I/O error.
+    fn crew_failure(&mut self) -> io::Error {
+        for h in self.workers.drain(..) {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        io::Error::other("compression workers exited unexpectedly")
     }
 }
 
@@ -630,6 +850,63 @@ mod tests {
         let mut out = Vec::new();
         let err = salvage(&b"not a stream at all"[..], &mut out).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn parallel_writer_is_byte_identical_to_sequential() {
+        // Partial tail segment and awkward chunk sizes included.
+        let data = patterned(36 * 23 + 17);
+        let mut expected = Vec::new();
+        let mut w = StreamWriter::new(&mut expected, compressor(), 4).unwrap();
+        for chunk in data.chunks(77) {
+            w.write_values(chunk).unwrap();
+        }
+        w.finish().unwrap();
+
+        for threads in [1usize, 2, 8] {
+            let mut sink = Vec::new();
+            let mut w =
+                ParallelStreamWriter::new(&mut sink, compressor(), 4, threads).unwrap();
+            for chunk in data.chunks(77) {
+                w.write_values(chunk).unwrap();
+            }
+            w.finish().unwrap();
+            assert_eq!(sink, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_writer_reorders_many_small_segments() {
+        // One block per segment maximizes in-flight reordering pressure.
+        let data = patterned(36 * 64);
+        let mut w = ParallelStreamWriter::new(Vec::new(), compressor(), 1, 8).unwrap();
+        w.write_values(&data).unwrap();
+        let sink = w.finish().unwrap();
+        let restored = StreamReader::new(sink.as_slice())
+            .unwrap()
+            .read_to_vec()
+            .unwrap();
+        assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            assert!((a - b).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_writer_empty_stream_and_input_validation() {
+        let w = ParallelStreamWriter::new(Vec::new(), compressor(), 2, 3).unwrap();
+        let sink = w.finish().unwrap();
+        let restored = StreamReader::new(sink.as_slice())
+            .unwrap()
+            .read_to_vec()
+            .unwrap();
+        assert!(restored.is_empty());
+
+        let err = match ParallelStreamWriter::new(Vec::new(), compressor(), 0, 3) {
+            Err(e) => e,
+            Ok(_) => panic!("zero blocks_per_segment must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

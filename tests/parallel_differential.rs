@@ -1,0 +1,80 @@
+//! Differential test under the parallel runtime: the same input through
+//! pastri, sz-lossy, and zfp-lossy inside a multi-threaded pool must (a)
+//! honour each codec's error bound independently, and (b) produce output
+//! *identical* to the codec's sequential run — compressed bytes and
+//! decoded values both. Any scheduling dependence in any codec (or in the
+//! runtime underneath) fails the byte comparison.
+
+use pastri::{BlockGeometry, Compressor};
+use qchem::basis::BfConfig;
+use qchem::dataset::EriDataset;
+
+const EBS: [f64; 3] = [1e-11, 1e-10, 1e-9];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+}
+
+fn dataset() -> Vec<f64> {
+    EriDataset::generate_model(BfConfig::dd_dd(), 24, 0xD1FF).values
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// One codec's (compressed bytes, decoded values) under a given pool.
+fn run_all(values: &[f64], eb: f64, threads: usize) -> Vec<(&'static str, Vec<u8>, Vec<f64>)> {
+    let geom = BlockGeometry::from_dims(BfConfig::dd_dd().dims());
+    pool(threads).install(|| {
+        let p = Compressor::new(geom, eb);
+        let pb = p.compress(values);
+        let pv = p.decompress(&pb).unwrap();
+
+        let s = sz_lossy::SzCompressor::new(eb);
+        let sb = s.compress(values);
+        let sv = s.decompress(&sb).unwrap();
+
+        let z = zfp_lossy::ZfpCompressor::new(eb);
+        let zb = z.compress(values);
+        let zv = z.decompress(&zb).unwrap();
+
+        vec![("pastri", pb, pv), ("sz", sb, sv), ("zfp", zb, zv)]
+    })
+}
+
+#[test]
+fn every_codec_bound_holds_and_matches_sequential_run() {
+    let values = dataset();
+    for eb in EBS {
+        let sequential = run_all(&values, eb, 1);
+        for (name, _, decoded) in &sequential {
+            assert!(
+                max_err(&values, decoded) <= eb,
+                "{name} violates EB {eb:e} sequentially"
+            );
+        }
+        for threads in [2usize, 4, 8] {
+            let parallel = run_all(&values, eb, threads);
+            for ((name, seq_bytes, seq_vals), (_, par_bytes, par_vals)) in
+                sequential.iter().zip(&parallel)
+            {
+                assert_eq!(
+                    par_bytes, seq_bytes,
+                    "{name} compressed bytes diverge at {threads} threads, EB {eb:e}"
+                );
+                assert_eq!(
+                    par_vals, seq_vals,
+                    "{name} decoded values diverge at {threads} threads, EB {eb:e}"
+                );
+                assert!(
+                    max_err(&values, par_vals) <= eb,
+                    "{name} violates EB {eb:e} at {threads} threads"
+                );
+            }
+        }
+    }
+}
