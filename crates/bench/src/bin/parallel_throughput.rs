@@ -3,8 +3,10 @@
 //! Seeds the perf trajectory for the paper's Sec. IV-C/Fig. 9cd
 //! throughput claims now that the runtime is genuinely parallel:
 //! compresses the `(dd|dd)` and `(ff|ff)` model datasets under crews of
-//! 1/2/4/8 threads (both the in-memory container fan-out and the
-//! streaming pipeline) and writes `BENCH_parallel.json`.
+//! 1/2/4/8 threads (the in-memory container fan-out, the streaming
+//! pipeline, and the crash-safe durable file path — so the JSON also
+//! records what the fsync'd checkpoint batches cost) and writes
+//! `BENCH_parallel.json`.
 //!
 //! Numbers are *measured on this machine* — the JSON records
 //! `available_parallelism` so a reader can tell a 1-core container
@@ -17,6 +19,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bench::{bench_scale, geometry_of, print_header, print_row, DD_BLOCKS, FF_BLOCKS};
+use pastri::durable_stream::DurableFileWriter;
 use pastri::stream::ParallelStreamWriter;
 use pastri::Compressor;
 use qchem::basis::BfConfig;
@@ -31,6 +34,18 @@ struct Measurement {
     container_mb_per_s: f64,
     stream_blocks_per_s: f64,
     stream_mb_per_s: f64,
+    /// Durable streaming to a real file: fsync'd checkpoint batches
+    /// through the `<path>.journal` write path (`DurableFileWriter`).
+    durable_blocks_per_s: f64,
+    durable_mb_per_s: f64,
+}
+
+impl Measurement {
+    /// Durable-mode slowdown vs the in-memory streaming pipeline, in
+    /// percent — the price of crash safety (file I/O + fsync batches).
+    fn durable_overhead_pct(&self) -> f64 {
+        (self.stream_blocks_per_s / self.durable_blocks_per_s - 1.0) * 100.0
+    }
 }
 
 fn reps() -> usize {
@@ -76,12 +91,30 @@ fn measure(config: BfConfig, num_blocks: usize) -> (usize, Vec<Measurement>) {
                 }
                 w.finish().unwrap();
             });
+            let durable_path = std::env::temp_dir().join(format!(
+                "pastri-bench-durable-{}-{threads}.pstrs",
+                std::process::id()
+            ));
+            let durable_secs = best_secs(reps, || {
+                // The batch crew comes from the installed pool.
+                pool.install(|| {
+                    let mut w =
+                        DurableFileWriter::create(&durable_path, compressor, 8, 8).unwrap();
+                    for chunk in ds.values.chunks(8 * compressor.geometry().block_size()) {
+                        w.write_values(chunk).unwrap();
+                    }
+                    w.finish().unwrap();
+                });
+            });
+            let _ = std::fs::remove_file(&durable_path);
             Measurement {
                 threads,
                 container_blocks_per_s: num_blocks as f64 / container_secs,
                 container_mb_per_s: mb / container_secs,
                 stream_blocks_per_s: num_blocks as f64 / stream_secs,
                 stream_mb_per_s: mb / stream_secs,
+                durable_blocks_per_s: num_blocks as f64 / durable_secs,
+                durable_mb_per_s: mb / durable_secs,
             }
         })
         .collect();
@@ -101,13 +134,18 @@ fn dataset_json(label: &str, num_blocks: usize, rows: &[Measurement]) -> String 
             s,
             "        {{\"threads\": {}, \"container_blocks_per_s\": {:.1}, \
              \"container_mb_per_s\": {:.2}, \"stream_blocks_per_s\": {:.1}, \
-             \"stream_mb_per_s\": {:.2}, \"container_speedup_vs_1\": {:.3}, \
+             \"stream_mb_per_s\": {:.2}, \"durable_blocks_per_s\": {:.1}, \
+             \"durable_mb_per_s\": {:.2}, \"durable_overhead_pct\": {:.1}, \
+             \"container_speedup_vs_1\": {:.3}, \
              \"stream_speedup_vs_1\": {:.3}}}{}",
             m.threads,
             m.container_blocks_per_s,
             m.container_mb_per_s,
             m.stream_blocks_per_s,
             m.stream_mb_per_s,
+            m.durable_blocks_per_s,
+            m.durable_mb_per_s,
+            m.durable_overhead_pct(),
             m.container_blocks_per_s / base.container_blocks_per_s,
             m.stream_blocks_per_s / base.stream_blocks_per_s,
             if i + 1 == rows.len() { "" } else { "," }
@@ -128,13 +166,22 @@ fn main() {
         ("(ff|ff)", BfConfig::ff_ff(), ((FF_BLOCKS as f64 * scale).max(4.0)) as usize),
     ];
 
-    let widths = [9usize, 8, 16, 12, 16, 12];
+    let widths = [9usize, 8, 16, 12, 16, 12, 13, 12];
     let mut json_sections = Vec::new();
     for (label, config, blocks) in datasets {
         let (num_blocks, rows) = measure(config, blocks);
         println!("{label} — {num_blocks} blocks of {}", config.block_size());
         print_header(
-            &["", "threads", "cont blk/s", "cont MB/s", "strm blk/s", "strm MB/s"],
+            &[
+                "",
+                "threads",
+                "cont blk/s",
+                "cont MB/s",
+                "strm blk/s",
+                "strm MB/s",
+                "durbl MB/s",
+                "dur ovh %",
+            ],
             &widths,
         );
         for m in &rows {
@@ -146,6 +193,8 @@ fn main() {
                     format!("{:.1}", m.container_mb_per_s),
                     format!("{:.0}", m.stream_blocks_per_s),
                     format!("{:.1}", m.stream_mb_per_s),
+                    format!("{:.1}", m.durable_mb_per_s),
+                    format!("{:.1}", m.durable_overhead_pct()),
                 ],
                 &widths,
             );

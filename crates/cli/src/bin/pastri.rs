@@ -5,6 +5,7 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = pastri_cli::run(&argv, &mut stdout) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        // 1 = I/O or usage error, 2 = corruption found (see `pastri help`).
+        std::process::exit(e.code);
     }
 }

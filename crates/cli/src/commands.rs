@@ -26,13 +26,15 @@ fn read_f64_file(path: &str) -> Result<Vec<f64>, CliError> {
         .collect())
 }
 
-/// Writes a raw little-endian f64 file.
+/// Writes a raw little-endian f64 file atomically (temp + fsync +
+/// rename): a crash mid-write never leaves a half-written artifact.
 fn write_f64_file(path: &str, values: &[f64]) -> Result<(), CliError> {
     let mut bytes = Vec::with_capacity(values.len() * 8);
     for v in values {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
-    fs::write(path, bytes).map_err(|e| CliError::new(format!("writing {path}: {e}")))
+    durable::atomic_write(std::path::Path::new(path), &bytes)
+        .map_err(|e| CliError::new(format!("writing {path}: {e}")))
 }
 
 fn parse_config(args: &Args) -> Result<BfConfig, CliError> {
@@ -68,31 +70,9 @@ fn parse_options(args: &Args) -> Result<CompressorOptions, CliError> {
     })
 }
 
-/// Either streaming writer behind one interface: `--threads` picks the
-/// implementation, the output bytes are identical either way.
-enum AnyStreamWriter<W: Write> {
-    Seq(pastri::stream::StreamWriter<W>),
-    Par(pastri::stream::ParallelStreamWriter<W>),
-}
-
-impl<W: Write> AnyStreamWriter<W> {
-    fn write_values(&mut self, values: &[f64]) -> std::io::Result<()> {
-        match self {
-            Self::Seq(w) => w.write_values(values),
-            Self::Par(w) => w.write_values(values),
-        }
-    }
-
-    fn finish(self) -> std::io::Result<W> {
-        match self {
-            Self::Seq(w) => w.finish(),
-            Self::Par(w) => w.finish(),
-        }
-    }
-}
-
 /// `pastri compress <in.f64> <out.pastri> --config ... [--eb ...]
-/// [--threads N] [--stream [--segment-blocks B]]`.
+/// [--threads N] [--stream [--segment-blocks B] [--checkpoint-every N]
+/// [--resume]]`.
 pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let input = args.positional(0, "in.f64")?;
@@ -111,56 +91,85 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         parse_options(&args)?,
     );
     if args.switch("stream") {
-        // Bounded-memory path: read/compress/write segment by segment.
+        // Bounded-memory, crash-safe path: read/compress/write segment
+        // by segment through a durable writer that fsyncs checkpointed
+        // batches and seals each in a `<out>.journal` record. `--resume`
+        // picks an interrupted run back up at its last checkpoint.
         let segment_blocks = args.get_usize("segment-blocks", 64)?.max(1);
-        let infile = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
-        let outfile =
-            fs::File::create(output).map_err(|e| CliError::new(format!("{output}: {e}")))?;
-        let sink = std::io::BufWriter::new(outfile);
-        let resolved = if threads == 0 {
-            rayon::current_num_threads()
-        } else {
-            threads
-        };
-        let mut writer = if resolved <= 1 {
-            AnyStreamWriter::Seq(pastri::stream::StreamWriter::new(
-                sink,
-                compressor,
-                segment_blocks,
-            )?)
-        } else {
-            AnyStreamWriter::Par(pastri::stream::ParallelStreamWriter::new(
-                sink,
-                compressor,
-                segment_blocks,
-                resolved,
-            )?)
-        };
-        let mut reader = std::io::BufReader::new(infile);
-        let mut buf = vec![0u8; config.block_size() * 8];
-        let mut total_in = 0u64;
-        loop {
-            let n = read_chunk(&mut reader, &mut buf)?;
-            if n == 0 {
-                break;
+        let checkpoint_every = args.get_usize("checkpoint-every", 16)?.max(1);
+        let resume = args.switch("resume");
+        let run = || -> Result<(u64, u64), CliError> {
+            let out_path = std::path::Path::new(output);
+            let mut writer = if resume {
+                pastri::durable_stream::DurableFileWriter::resume(
+                    out_path,
+                    compressor,
+                    segment_blocks,
+                    checkpoint_every,
+                )
+            } else {
+                pastri::durable_stream::DurableFileWriter::create(
+                    out_path,
+                    compressor,
+                    segment_blocks,
+                    checkpoint_every,
+                )
             }
-            if n % 8 != 0 {
-                return Err(CliError::new(format!(
-                    "{input}: length is not a multiple of 8 (raw f64 expected)"
-                )));
+            .map_err(|e| CliError::new(format!("{output}: {e}")))?;
+            // Values already durable from the interrupted run: skip them
+            // in the input so the finished stream is byte-identical to
+            // an uninterrupted one.
+            let skipped = writer.checkpoint().values;
+            let mut infile =
+                fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+            if skipped > 0 {
+                use std::io::Seek;
+                infile
+                    .seek(std::io::SeekFrom::Start(skipped * 8))
+                    .map_err(|e| CliError::new(format!("{input}: {e}")))?;
             }
-            let values: Vec<f64> = buf[..n]
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                .collect();
-            total_in += n as u64;
-            writer.write_values(&values)?;
-        }
-        writer.finish()?;
+            let mut reader = std::io::BufReader::new(infile);
+            let mut buf = vec![0u8; config.block_size() * 8];
+            let mut total_in = skipped * 8;
+            loop {
+                let n = read_chunk(&mut reader, &mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                if n % 8 != 0 {
+                    return Err(CliError::new(format!(
+                        "{input}: length is not a multiple of 8 (raw f64 expected)"
+                    )));
+                }
+                let values: Vec<f64> = buf[..n]
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                total_in += n as u64;
+                writer.write_values(&values)?;
+            }
+            writer.finish()?;
+            Ok((total_in, skipped))
+        };
+        // `--threads N` pins the batch-compression crew; 0 = auto.
+        let (total_in, skipped) = if threads > 0 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .map_err(|e| CliError::new(format!("thread pool: {e}")))?;
+            pool.install(run)?
+        } else {
+            run()?
+        };
         let out_len = fs::metadata(output)?.len();
+        let resumed = if skipped > 0 {
+            format!(", resumed at value {skipped}")
+        } else {
+            String::new()
+        };
         writeln!(
             out,
-            "{input} -> {output} (streamed): {total_in} -> {out_len} bytes (ratio {:.2}x, EB {eb:.1e})",
+            "{input} -> {output} (streamed, durable{resumed}): {total_in} -> {out_len} bytes (ratio {:.2}x, EB {eb:.1e})",
             total_in as f64 / out_len as f64
         )?;
         return Ok(());
@@ -176,7 +185,8 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     } else {
         compressor.compress_with_stats(&data)
     };
-    fs::write(output, &bytes).map_err(|e| CliError::new(format!("writing {output}: {e}")))?;
+    durable::atomic_write(std::path::Path::new(output), &bytes)
+        .map_err(|e| CliError::new(format!("writing {output}: {e}")))?;
     writeln!(
         out,
         "{} -> {}: {} -> {} bytes (ratio {:.2}x, {:.2} bits/value, EB {:.1e})",
@@ -270,8 +280,9 @@ pub fn inspect(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `pastri verify <file>`: scan any PaSTRI artifact — a single container
 /// (`PSTR`), a stream (`PSTRS`), or an eri-store (`ERISTOR1/2`) — and
-/// print a per-block/segment damage report. Returns an error (non-zero
-/// process exit) when any damage is found, so scripts can gate on it.
+/// print a per-block/segment damage report. Exit codes are the scripting
+/// contract: 0 clean, 2 when damage is found in a recognized artifact,
+/// 1 for I/O trouble or an unrecognized format.
 pub fn verify(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let input = args.positional(0, "file")?;
@@ -299,7 +310,7 @@ fn damage_verdict(input: &str, damaged: usize, total: usize, unit: &str) -> Resu
     if damaged == 0 {
         Ok(())
     } else {
-        Err(CliError::new(format!(
+        Err(CliError::corruption(format!(
             "{input}: {damaged} of {total} {unit}(s) damaged"
         )))
     }
@@ -308,7 +319,7 @@ fn damage_verdict(input: &str, damaged: usize, total: usize, unit: &str) -> Resu
 fn verify_container(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
     let decoded = pastri::decompress_lossy(&bytes)
-        .map_err(|e| CliError::new(format!("{input}: unrecoverable header damage: {e}")))?;
+        .map_err(|e| CliError::corruption(format!("{input}: unrecoverable header damage: {e}")))?;
     let total = decoded.outcomes.len();
     writeln!(
         out,
@@ -327,7 +338,7 @@ fn verify_container(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
 fn verify_stream(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let file = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
     let mut reader = pastri::stream::StreamReader::new(std::io::BufReader::new(file))
-        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+        .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
     let mut damaged: Vec<String> = Vec::new();
     let mut total = 0usize;
     let mut tail_lost = false;
@@ -362,10 +373,10 @@ fn verify_stream(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn verify_store(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let mut store = eri_store::StoreReader::open(std::path::Path::new(input))
-        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+        .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
     let report = store
         .verify()
-        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+        .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
     writeln!(
         out,
         "{input}: ERI store v{}, {} block(s) scanned, {} damaged",
@@ -381,19 +392,25 @@ fn verify_store(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `pastri salvage <in.pstrs> <out.pstrs>`: rewrite a damaged stream,
 /// keeping every intact segment byte-for-byte and dropping the rest.
-/// Succeeds (exit 0) even when segments had to be dropped — the point is
-/// that the *output* verifies clean afterwards.
+/// The output is committed atomically (temp + fsync + rename) and always
+/// verifies clean; the exit code reports what salvage found in the
+/// *input* — 0 if nothing had to be dropped, 2 if data was lost.
 pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let input = args.positional(0, "in.pstrs")?;
     let output = args.positional(1, "out.pstrs")?;
     let infile = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
-    let outfile = fs::File::create(output).map_err(|e| CliError::new(format!("{output}: {e}")))?;
-    let report = pastri::stream::salvage(
-        std::io::BufReader::new(infile),
-        std::io::BufWriter::new(outfile),
-    )
-    .map_err(|e| CliError::new(format!("salvaging {input}: {e}")))?;
+    let outfile = durable::AtomicFile::create(std::path::Path::new(output))
+        .map_err(|e| CliError::new(format!("{output}: {e}")))?;
+    let mut sink = std::io::BufWriter::new(outfile);
+    let report = pastri::stream::salvage(std::io::BufReader::new(infile), &mut sink)
+        .map_err(|e| CliError::new(format!("salvaging {input}: {e}")))?;
+    let outfile = sink
+        .into_inner()
+        .map_err(|e| CliError::new(format!("{output}: {e}")))?;
+    outfile
+        .commit()
+        .map_err(|e| CliError::new(format!("{output}: {e}")))?;
     writeln!(
         out,
         "{input} -> {output}: kept {} segment(s), dropped {}{}",
@@ -408,7 +425,15 @@ pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     for (index, err) in &report.dropped {
         writeln!(out, "  dropped segment {index}: {err}")?;
     }
-    Ok(())
+    if report.dropped.is_empty() && !report.tail_lost {
+        Ok(())
+    } else {
+        Err(CliError::corruption(format!(
+            "{input}: salvage dropped {} segment(s){}",
+            report.dropped.len(),
+            if report.tail_lost { " and lost the tail" } else { "" }
+        )))
+    }
 }
 
 /// `pastri gen <out.f64> --molecule benzene --config (dd|dd) ...`.
@@ -616,19 +641,114 @@ mod tests {
         bytes[mid] ^= 0x10;
         fs::write(&comp, &bytes).unwrap();
 
-        // Damaged stream: verify fails with a damage report.
+        // Damaged stream: verify fails with a damage report and the
+        // documented corruption exit code.
         let mut report = Vec::new();
         let err = verify(&sv(&[&comp]), &mut report).unwrap_err();
         assert!(err.message.contains("damaged"), "{}", err.message);
+        assert_eq!(err.code, 2, "verify damage is exit code 2");
         let text = String::from_utf8(report).unwrap();
         assert!(text.contains("segment"), "{text}");
 
-        // Salvage drops the damaged segment; the result verifies clean.
+        // Salvage drops the damaged segment (exit 2: data was lost) but
+        // still writes an output that verifies clean.
         let mut out = Vec::new();
-        salvage(&sv(&[&comp, &fixed]), &mut out).unwrap();
+        let err = salvage(&sv(&[&comp, &fixed]), &mut out).unwrap_err();
+        assert_eq!(err.code, 2, "lossy salvage is exit code 2");
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("dropped 1"), "{text}");
         verify(&sv(&[&fixed]), &mut Vec::new()).unwrap();
+
+        // Salvaging the already-clean output drops nothing: exit 0.
+        let refixed = dir.join("v-refixed.pstrs").to_string_lossy().into_owned();
+        salvage(&sv(&[&fixed, &refixed]), &mut Vec::new()).unwrap();
+    }
+
+    #[test]
+    fn exit_codes_follow_the_documented_contract() {
+        let dir = tmpdir();
+        // Missing file: I/O error, code 1.
+        let missing = dir.join("nope.pstrs").to_string_lossy().into_owned();
+        let err = verify(&sv(&[&missing]), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, 1);
+        // Unknown magic: usage/format error, code 1 (not corruption —
+        // the file was never claimed to be a PaSTRI artifact).
+        let junk = dir.join("junk2.bin").to_string_lossy().into_owned();
+        fs::write(&junk, b"something else entirely").unwrap();
+        let err = verify(&sv(&[&junk]), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, 1);
+        // Damage in a recognized container: code 2.
+        let raw = dir.join("ec.f64").to_string_lossy().into_owned();
+        let comp = dir.join("ec.pastri").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "4", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(&sv(&[&raw, &comp, "--config", "dddd"]), &mut out).unwrap();
+        let mut bytes = fs::read(&comp).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x01;
+        fs::write(&comp, &bytes).unwrap();
+        let err = verify(&sv(&[&comp]), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn stream_compress_resumes_after_interruption() {
+        let dir = tmpdir();
+        let raw = dir.join("r.f64").to_string_lossy().into_owned();
+        let full = dir.join("r-full.pstrs").to_string_lossy().into_owned();
+        let part = dir.join("r-part.pstrs").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "24", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        let stream_flags = [
+            "--config",
+            "dddd",
+            "--stream",
+            "--segment-blocks",
+            "2",
+            "--checkpoint-every",
+            "2",
+        ];
+        // Reference: one uninterrupted run.
+        let mut argv = sv(&[&raw, &full]);
+        argv.extend(sv(&stream_flags));
+        compress(&argv, &mut out).unwrap();
+
+        // Interrupted run: feed a prefix through the durable writer and
+        // "crash" (drop without finish), leaving artifact + journal.
+        {
+            let config = qchem::basis::BfConfig::parse("dddd").unwrap();
+            let compressor = Compressor::new(BlockGeometry::from_dims(config.dims()), 1e-10);
+            let mut w = pastri::durable_stream::DurableFileWriter::create(
+                std::path::Path::new(&part),
+                compressor,
+                2,
+                2,
+            )
+            .unwrap();
+            let values = read_f64_file(&raw).unwrap();
+            w.write_values(&values[..values.len() / 2]).unwrap();
+            assert!(w.checkpoint().values > 0, "some batch must have committed");
+        }
+        // Resume through the CLI: byte-identical to the clean run.
+        let mut resumed_out = Vec::new();
+        let mut argv = sv(&[&raw, &part]);
+        argv.extend(sv(&stream_flags));
+        argv.push("--resume".into());
+        compress(&argv, &mut resumed_out).unwrap();
+        assert_eq!(fs::read(&part).unwrap(), fs::read(&full).unwrap());
+        let text = String::from_utf8(resumed_out).unwrap();
+        assert!(text.contains("resumed at value"), "{text}");
+        // The journal is gone: the artifact is marked complete.
+        assert!(!durable::journal_path(std::path::Path::new(&part)).exists());
+        verify(&sv(&[&part]), &mut Vec::new()).unwrap();
     }
 
     #[test]

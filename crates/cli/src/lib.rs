@@ -19,17 +19,36 @@ pub mod commands;
 
 use std::fmt;
 
-/// CLI failure: message plus suggested exit code.
+/// CLI failure: message plus the process exit code to use.
+///
+/// Exit codes are part of the CLI contract (scripts gate on them):
+///
+/// * `0` — success, artifact clean
+/// * `1` — I/O or usage error (missing file, bad flag, unknown format)
+/// * `2` — corruption found in a recognized PaSTRI artifact
+///   (`verify` found damage, or `salvage` had to drop segments)
 #[derive(Debug)]
 pub struct CliError {
     pub message: String,
+    pub code: i32,
 }
 
 impl CliError {
+    /// An I/O or usage error (exit code 1).
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// Damage found in a recognized artifact (exit code 2).
+    #[must_use]
+    pub fn corruption(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
         }
     }
 }
@@ -80,7 +99,8 @@ pub fn usage() -> &'static str {
 
 USAGE:
   pastri compress   <in.f64> <out.pastri> --config (dd|dd) --eb 1e-10
-                    [--metric ER] [--tree 5] [--stream [--segment-blocks 64]]
+                    [--metric ER] [--tree 5] [--stream [--segment-blocks 64]
+                    [--checkpoint-every 16] [--resume]]
   pastri decompress <in.pastri> <out.f64>
   pastri inspect    <in.pastri>
   pastri verify     <file>            (container, stream, or ERI store)
@@ -96,5 +116,20 @@ FLAGS:
   --tree     1..5 or 'fixed'                (default 5)
   --molecule benzene | glutamine | alanine
   --cluster  tile N copies at 4.5 A (production-scale far-field mix)
-  --model    use the fast Eq.-3 far-field model generator"
+  --model    use the fast Eq.-3 far-field model generator
+
+DURABILITY (streamed compression):
+  --stream writes durably: segments are fsync'd in batches and sealed by
+  a <out>.journal checkpoint record; the journal is removed on success.
+  --checkpoint-every N   segments per durable batch (default 16)
+  --resume               continue an interrupted --stream run: loads the
+                         last checkpoint, discards the torn tail, skips
+                         the already-committed input, and finishes
+                         byte-identical to an uninterrupted run. Pass
+                         the same flags as the interrupted run.
+
+EXIT CODES:
+  0  success / artifact clean
+  1  I/O or usage error (missing file, bad flag, unknown format)
+  2  corruption found (verify found damage; salvage dropped segments)"
 }

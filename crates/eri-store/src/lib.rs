@@ -44,10 +44,11 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use checksum::crc32;
+use durable::{journal_path, remove_journal, scan_journal, Checkpoint, JournalWriter};
 use pastri::{BlockGeometry, Compressor};
 use rayon::prelude::*;
 
@@ -257,12 +258,33 @@ fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8], policy: &RetryPolicy) ->
     Ok(())
 }
 
+/// Durable-mode state of a [`StoreWriter`]: the checkpoint journal and
+/// its batching policy.
+struct Durability {
+    journal: JournalWriter<File>,
+    path: PathBuf,
+    checkpoint_every: usize,
+    /// Blocks appended since the last checkpoint.
+    uncheckpointed: usize,
+}
+
 /// Writes a block store: append blocks, then [`finish`](StoreWriter::finish).
+///
+/// Two modes: [`create`](Self::create) is the plain volatile writer (a
+/// crash loses the whole store, since the header is only finalized on
+/// finish); [`create_durable`](Self::create_durable) additionally
+/// maintains a `<path>.journal` checkpoint sidecar — every
+/// `checkpoint_every` blocks the data is fsync'd and a journal record
+/// commits the prefix, so after a crash
+/// [`open_for_append`](Self::open_for_append) can truncate back to the
+/// last checkpoint, rebuild the index by re-walking the committed
+/// containers, and continue. Both modes emit byte-identical files.
 pub struct StoreWriter {
     file: File,
     compressor: Compressor,
     index: Vec<(u64, u64, u32)>,
     cursor: u64,
+    durability: Option<Durability>,
 }
 
 impl StoreWriter {
@@ -284,7 +306,182 @@ impl StoreWriter {
             compressor: Compressor::new(geometry, eb),
             index: Vec::new(),
             cursor: HEADER_LEN_V2,
+            durability: None,
         })
+    }
+
+    /// Like [`create`](Self::create), but journaled: every
+    /// `checkpoint_every` appended blocks, the file is fsync'd and a
+    /// checkpoint record is durably appended to `<path>.journal`. A
+    /// crash then loses at most the blocks since the last checkpoint —
+    /// recover with [`open_for_append`](Self::open_for_append).
+    ///
+    /// # Errors
+    /// `InvalidInput` (as `StoreError::Io`) if `checkpoint_every` is 0.
+    pub fn create_durable(
+        path: &Path,
+        geometry: BlockGeometry,
+        eb: f64,
+        checkpoint_every: usize,
+    ) -> Result<Self, StoreError> {
+        if checkpoint_every == 0 {
+            return Err(StoreError::Io(io::Error::new(
+                ErrorKind::InvalidInput,
+                "checkpoint_every must be at least 1",
+            )));
+        }
+        let mut w = Self::create(path, geometry, eb)?;
+        // The placeholder header must be durable before the journal can
+        // describe byte offsets past it.
+        w.file.sync_all()?;
+        let jfile = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(journal_path(path))?;
+        durable::fsync_dir(&parent_of(path))?;
+        w.durability = Some(Durability {
+            journal: JournalWriter::new(jfile),
+            path: path.to_path_buf(),
+            checkpoint_every,
+            uncheckpointed: 0,
+        });
+        Ok(w)
+    }
+
+    /// Resumes an interrupted durable write at `path`: loads the last
+    /// valid checkpoint from `<path>.journal`, truncates the store to
+    /// the committed prefix, and rebuilds the index by re-walking the
+    /// committed containers. Returns the writer plus the checkpoint —
+    /// `checkpoint.segments` blocks are already in the store, so the
+    /// producer resumes appending from block `checkpoint.segments`.
+    ///
+    /// With no usable journal the store restarts from scratch (the
+    /// checkpoint comes back all-zero).
+    ///
+    /// # Errors
+    /// `Corrupt` if the journal claims more bytes than the file holds,
+    /// if the header disagrees with `geometry`/`eb`, or if the committed
+    /// prefix does not parse back into `checkpoint.segments` containers.
+    pub fn open_for_append(
+        path: &Path,
+        geometry: BlockGeometry,
+        eb: f64,
+        checkpoint_every: usize,
+    ) -> Result<(Self, Checkpoint), StoreError> {
+        if checkpoint_every == 0 {
+            return Err(StoreError::Io(io::Error::new(
+                ErrorKind::InvalidInput,
+                "checkpoint_every must be at least 1",
+            )));
+        }
+        let jp = journal_path(path);
+        let journal_bytes = match std::fs::read(&jp) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let (cp, valid_len) = scan_journal(&journal_bytes);
+        let Some(cp) = cp else {
+            // No committed prefix at all: restart from scratch.
+            let w = Self::create_durable(path, geometry, eb, checkpoint_every)?;
+            return Ok((w, Checkpoint::default()));
+        };
+
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        if file.metadata()?.len() < cp.bytes {
+            return Err(StoreError::corrupt(
+                "journal claims more durable bytes than the store holds",
+            ));
+        }
+        // Lenient header check: count/index/CRC slots hold placeholders
+        // until finish(), but magic, error bound, and geometry must
+        // already match what the resume asks for.
+        let mut header = [0u8; HEADER_BODY_LEN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        if header[..8] != MAGIC_V2 {
+            return Err(StoreError::corrupt("bad magic"));
+        }
+        let h_eb = f64::from_le_bytes(header[8..16].try_into().unwrap());
+        let h_num_sb = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let h_sb_size = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if h_eb != eb
+            || h_num_sb != geometry.num_subblocks as u64
+            || h_sb_size != geometry.subblock_size as u64
+        {
+            return Err(StoreError::corrupt(
+                "resume parameters do not match the store header",
+            ));
+        }
+        // Drop everything past the committed prefix (possibly torn).
+        file.set_len(cp.bytes)?;
+        file.sync_all()?;
+
+        // Rebuild the index: the committed prefix is exactly
+        // `cp.segments` whole containers back to back.
+        file.seek(SeekFrom::Start(HEADER_LEN_V2))?;
+        let mut blocks_bytes = vec![0u8; (cp.bytes - HEADER_LEN_V2) as usize];
+        file.read_exact(&mut blocks_bytes)?;
+        let mut index = Vec::new();
+        let mut pos = 0usize;
+        while pos < blocks_bytes.len() {
+            let (_, consumed) = pastri::inspect_prefix(&blocks_bytes[pos..]).map_err(|_| {
+                StoreError::corrupt("unparseable container inside the committed prefix")
+                    .with_block(index.len())
+            })?;
+            let payload = &blocks_bytes[pos..pos + consumed];
+            index.push((HEADER_LEN_V2 + pos as u64, consumed as u64, crc32(payload)));
+            pos += consumed;
+        }
+        if index.len() as u64 != cp.segments {
+            return Err(StoreError::corrupt(
+                "committed block count does not match the journal",
+            ));
+        }
+
+        // Journal: drop any torn tail record, then append to it.
+        let mut jfile = OpenOptions::new().read(true).write(true).open(&jp)?;
+        jfile.set_len(valid_len as u64)?;
+        jfile.sync_all()?;
+        jfile.seek(SeekFrom::Start(valid_len as u64))?;
+        file.seek(SeekFrom::Start(cp.bytes))?;
+        Ok((
+            Self {
+                file,
+                compressor: Compressor::new(geometry, eb),
+                index,
+                cursor: cp.bytes,
+                durability: Some(Durability {
+                    journal: JournalWriter::resume(jfile),
+                    path: path.to_path_buf(),
+                    checkpoint_every,
+                    uncheckpointed: 0,
+                }),
+            },
+            cp,
+        ))
+    }
+
+    /// In durable mode: commits a checkpoint if enough blocks have
+    /// accumulated. Data fsync strictly precedes the journal record, so
+    /// the journal never describes bytes that could still be lost.
+    fn maybe_checkpoint(&mut self) -> Result<(), StoreError> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        if d.uncheckpointed < d.checkpoint_every {
+            return Ok(());
+        }
+        self.file.sync_all()?;
+        let bs = self.compressor.geometry().block_size() as u64;
+        d.journal.record(Checkpoint {
+            segments: self.index.len() as u64,
+            values: self.index.len() as u64 * bs,
+            bytes: self.cursor,
+        })?;
+        d.uncheckpointed = 0;
+        Ok(())
     }
 
     /// Compresses and appends one full block.
@@ -302,7 +499,10 @@ impl StoreWriter {
         self.index
             .push((self.cursor, payload.len() as u64, crc32(&payload)));
         self.cursor += payload.len() as u64;
-        Ok(())
+        if let Some(d) = &mut self.durability {
+            d.uncheckpointed += 1;
+        }
+        self.maybe_checkpoint()
     }
 
     /// Compresses and appends a batch of full blocks, fanning the
@@ -330,6 +530,10 @@ impl StoreWriter {
             self.index
                 .push((self.cursor, payload.len() as u64, crc32(&payload)));
             self.cursor += payload.len() as u64;
+            if let Some(d) = &mut self.durability {
+                d.uncheckpointed += 1;
+            }
+            self.maybe_checkpoint()?;
         }
         Ok(())
     }
@@ -357,7 +561,22 @@ impl StoreWriter {
         self.file.write_all(&header)?;
         self.file.write_all(&crc32(&header).to_le_bytes())?;
         self.file.flush()?;
+        if let Some(d) = self.durability.take() {
+            // The finished store must be durable before the journal — the
+            // "write in progress" marker — disappears.
+            self.file.sync_all()?;
+            drop(d.journal);
+            remove_journal(&d.path)?;
+        }
         Ok(self.index.len())
+    }
+}
+
+/// The parent directory of `path`, defaulting to `.` for bare names.
+fn parent_of(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
     }
 }
 
@@ -676,6 +895,96 @@ mod tests {
             let _ = std::fs::remove_file(&path);
             assert_eq!(bytes, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn durable_store_is_byte_identical_and_drops_journal_on_finish() {
+        let geom = BlockGeometry::new(6, 8);
+        let blocks: Vec<Vec<f64>> = (0..11).map(|b| patterned_block(geom, b)).collect();
+        let (expected, _) = store_bytes(geom, 1e-10, &blocks);
+
+        let path = tmp("durable-identical");
+        let mut w = StoreWriter::create_durable(&path, geom, 1e-10, 3).unwrap();
+        for b in &blocks {
+            w.append_block(b).unwrap();
+        }
+        assert!(journal_path(&path).exists(), "journal alive mid-write");
+        assert_eq!(w.finish().unwrap(), 11);
+        assert!(!journal_path(&path).exists(), "journal removed on finish");
+        assert_eq!(std::fs::read(&path).unwrap(), expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_durable_store_resumes_byte_identical() {
+        let geom = BlockGeometry::new(6, 8);
+        let eb = 1e-10;
+        let blocks: Vec<Vec<f64>> = (0..17).map(|b| patterned_block(geom, b)).collect();
+        let (expected, _) = store_bytes(geom, eb, &blocks);
+
+        let path = tmp("durable-resume");
+        {
+            let mut w = StoreWriter::create_durable(&path, geom, eb, 4).unwrap();
+            for b in &blocks[..10] {
+                w.append_block(b).unwrap();
+            }
+            // "Crash": dropped without finish. Blocks 8..10 were never
+            // checkpointed and will be truncated away on resume.
+        }
+        let (mut w, cp) = StoreWriter::open_for_append(&path, geom, eb, 4).unwrap();
+        assert_eq!(cp.segments, 8, "two full batches of 4 committed");
+        assert_eq!(cp.values, 8 * geom.block_size() as u64);
+        for b in &blocks[cp.segments as usize..] {
+            w.append_block(b).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 17);
+        assert_eq!(std::fs::read(&path).unwrap(), expected);
+        assert!(!journal_path(&path).exists());
+
+        // And the resumed store verifies clean.
+        let mut r = StoreReader::open(&path).unwrap();
+        assert!(r.verify().unwrap().is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_for_append_without_journal_restarts() {
+        let geom = BlockGeometry::new(4, 4);
+        let path = tmp("durable-nojournal");
+        {
+            let mut w = StoreWriter::create_durable(&path, geom, 1e-9, 2).unwrap();
+            w.append_block(&patterned_block(geom, 0)).unwrap();
+        }
+        let _ = std::fs::remove_file(journal_path(&path));
+        let (mut w, cp) = StoreWriter::open_for_append(&path, geom, 1e-9, 2).unwrap();
+        assert_eq!(cp, Checkpoint::default());
+        for b in 0..3 {
+            w.append_block(&patterned_block(geom, b)).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 3);
+        assert!(StoreReader::open(&path).unwrap().verify().unwrap().is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_for_append_rejects_mismatched_parameters() {
+        let geom = BlockGeometry::new(4, 4);
+        let path = tmp("durable-mismatch");
+        {
+            let mut w = StoreWriter::create_durable(&path, geom, 1e-9, 1).unwrap();
+            w.append_block(&patterned_block(geom, 0)).unwrap();
+        }
+        let other_geom = BlockGeometry::new(8, 2);
+        assert!(matches!(
+            StoreWriter::open_for_append(&path, other_geom, 1e-9, 1),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            StoreWriter::open_for_append(&path, geom, 1e-6, 1),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(journal_path(&path));
     }
 
     #[test]

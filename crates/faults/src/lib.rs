@@ -10,6 +10,15 @@
 //! matter how the consumer chunks its reads — a failing test seed
 //! reproduces exactly.
 //!
+//! [`FaultyWriter`] is the write-side mirror: short writes, torn writes,
+//! and deterministic *kill points* — after a caller-chosen number of
+//! bytes (shared across several writers via a [`CrashBudget`]) every
+//! subsequent write and fsync fails as if the process had been killed at
+//! that instant, optionally firing an injectable abort hook first. The
+//! crash-recovery harness replays every byte of a compression run as a
+//! kill point and asserts the durability invariants on what the "dead"
+//! process left behind.
+//!
 //! [`flip_bits`] is the in-memory counterpart for tests that corrupt a
 //! byte buffer directly.
 //!
@@ -18,7 +27,7 @@
 //! normal library so the CLI's self-test and `pfs-sim`'s failure model
 //! can share the same arithmetic.
 
-use std::io::{self, ErrorKind, Read, Seek, SeekFrom};
+use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 
 /// What to inject. The default injects nothing — enable modes per test.
 #[derive(Debug, Clone, Copy)]
@@ -179,6 +188,180 @@ pub fn flip_bits(bytes: &mut [u8], from: usize, k: usize, seed: u64) -> Vec<(usi
     flipped
 }
 
+/// Shared byte allowance for a simulated crash: writers draw from it on
+/// every accepted byte, and once it runs dry they all die together —
+/// modeling a process kill at one instant across the data file *and*
+/// its journal. Cloning shares the same budget.
+#[derive(Debug, Clone)]
+pub struct CrashBudget(std::sync::Arc<std::sync::atomic::AtomicU64>);
+
+impl CrashBudget {
+    /// A budget of `bytes` accepted writes before the crash.
+    #[must_use]
+    pub fn new(bytes: u64) -> Self {
+        Self(std::sync::Arc::new(std::sync::atomic::AtomicU64::new(
+            bytes,
+        )))
+    }
+
+    /// Bytes still writable before the crash fires.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Draws up to `want` bytes; returns how many were granted (0 once
+    /// exhausted). Thread-safe: concurrent writers cannot overdraw.
+    fn take(&self, want: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        let mut cur = self.0.load(Ordering::SeqCst);
+        loop {
+            let grant = cur.min(want);
+            match self
+                .0
+                .compare_exchange(cur, cur - grant, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return grant,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// What [`FaultyWriter`] injects. Default injects nothing.
+#[derive(Default)]
+pub struct WriteFaultConfig {
+    /// Accept at most a prefix of each write (exercises callers that
+    /// wrongly assume `write` takes the whole buffer).
+    pub short_writes: bool,
+    /// Crash once this shared budget is exhausted: every later write,
+    /// flush, and sync fails with [`ErrorKind::Other`] ("injected
+    /// crash"). Share one budget across the data and journal writers to
+    /// model a whole-process kill.
+    pub kill_after: Option<CrashBudget>,
+    /// If `true`, the killing write is *torn*: the bytes still in budget
+    /// are accepted (and reach the inner writer) before the failure —
+    /// byte-granular kill points. If `false`, the killing write is
+    /// rejected wholesale — kill points land on write-call boundaries.
+    pub torn_kill: bool,
+}
+
+/// Error kind used for injected crashes.
+#[must_use]
+pub fn crash_error() -> io::Error {
+    io::Error::other("injected crash")
+}
+
+/// Is this error an injected crash from a [`FaultyWriter`]?
+#[must_use]
+pub fn is_injected_crash(e: &io::Error) -> bool {
+    e.kind() == ErrorKind::Other && e.to_string().contains("injected crash")
+}
+
+/// Wraps a writer and injects write-side faults per a
+/// [`WriteFaultConfig`], deterministically per seed. After the kill
+/// budget runs dry the writer is *dead*: nothing further reaches the
+/// inner writer, mirroring a killed process whose file descriptors are
+/// gone.
+pub struct FaultyWriter<W> {
+    inner: W,
+    seed: u64,
+    config: WriteFaultConfig,
+    calls: u64,
+    dead: bool,
+    abort_hook: Option<Box<dyn FnMut() + Send>>,
+}
+
+impl<W> FaultyWriter<W> {
+    /// Wraps `inner`, injecting faults per `config`, reproducible for a
+    /// given `seed`.
+    pub fn new(inner: W, seed: u64, config: WriteFaultConfig) -> Self {
+        Self {
+            inner,
+            seed,
+            config,
+            calls: 0,
+            dead: false,
+            abort_hook: None,
+        }
+    }
+
+    /// Installs a hook fired exactly once, at the moment the kill budget
+    /// exhausts and this writer dies. The harness uses it to observe the
+    /// crash instant (or to unwind, simulating an abort).
+    #[must_use]
+    pub fn with_abort_hook(mut self, hook: impl FnMut() + Send + 'static) -> Self {
+        self.abort_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Has the injected crash fired?
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwraps the inner writer (whatever it received pre-crash).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn die(&mut self) -> io::Error {
+        if !self.dead {
+            self.dead = true;
+            if let Some(hook) = self.abort_hook.as_mut() {
+                hook();
+            }
+        }
+        crash_error()
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(crash_error());
+        }
+        let call = self.calls;
+        self.calls += 1;
+        let mut want = buf.len();
+        if self.config.short_writes && want > 1 {
+            let h = splitmix64(self.seed ^ 0x7717_a9b3 ^ call);
+            want = 1 + (h as usize % want);
+        }
+        if let Some(budget) = &self.config.kill_after {
+            if self.config.torn_kill {
+                let grant = budget.take(want as u64) as usize;
+                if grant == 0 && !buf.is_empty() {
+                    return Err(self.die());
+                }
+                want = grant;
+            } else if budget.remaining() < want as u64 {
+                return Err(self.die());
+            } else {
+                budget.take(want as u64);
+            }
+        }
+        self.inner.write(&buf[..want])
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(crash_error());
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: durable::SyncWrite> durable::SyncWrite for FaultyWriter<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(crash_error());
+        }
+        self.inner.sync()
+    }
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -314,6 +497,124 @@ mod tests {
         first.extend_from_slice(&second);
         assert_eq!(first, straight, "flips must depend on offset, not read order");
     }
+
+    #[test]
+    fn faulty_writer_no_faults_is_transparent() {
+        let mut w = FaultyWriter::new(Vec::new(), 5, WriteFaultConfig::default());
+        w.write_all(&data(1000)).unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner(), data(1000));
+    }
+
+    #[test]
+    fn short_writes_still_deliver_everything() {
+        let mut w = FaultyWriter::new(
+            Vec::new(),
+            5,
+            WriteFaultConfig {
+                short_writes: true,
+                ..Default::default()
+            },
+        );
+        // write_all loops over the short accepts.
+        w.write_all(&data(4096)).unwrap();
+        assert!(w.calls > 1, "short writes must have split the buffer");
+        assert_eq!(w.into_inner(), data(4096));
+    }
+
+    #[test]
+    fn torn_kill_accepts_exactly_the_budget() {
+        for kill_at in [0u64, 1, 137, 999, 1000] {
+            let mut w = FaultyWriter::new(
+                Vec::new(),
+                9,
+                WriteFaultConfig {
+                    kill_after: Some(CrashBudget::new(kill_at)),
+                    torn_kill: true,
+                    ..Default::default()
+                },
+            );
+            let src = data(1000);
+            let result = w.write_all(&src);
+            if kill_at < 1000 {
+                let e = result.unwrap_err();
+                assert!(is_injected_crash(&e), "{e}");
+                assert!(w.is_dead());
+                // Everything else fails too, like a killed process.
+                assert!(w.write(b"x").is_err());
+                assert!(w.flush().is_err());
+                assert!(durable::SyncWrite::sync(&mut w).is_err());
+            } else {
+                result.unwrap();
+            }
+            let got = w.into_inner();
+            let expect = &src[..(kill_at as usize).min(1000)];
+            assert_eq!(got, expect, "kill_at={kill_at}: exactly the budget lands");
+        }
+    }
+
+    #[test]
+    fn call_boundary_kill_rejects_the_killing_write() {
+        let mut w = FaultyWriter::new(
+            Vec::new(),
+            9,
+            WriteFaultConfig {
+                kill_after: Some(CrashBudget::new(10)),
+                torn_kill: false,
+                ..Default::default()
+            },
+        );
+        w.write_all(&[1u8; 8]).unwrap();
+        // 2 bytes left in budget: a 4-byte write dies without landing
+        // any of its bytes.
+        let e = w.write_all(&[2u8; 4]).unwrap_err();
+        assert!(is_injected_crash(&e));
+        assert_eq!(w.into_inner(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn shared_budget_kills_both_writers_together() {
+        let budget = CrashBudget::new(6);
+        let cfg = || WriteFaultConfig {
+            kill_after: Some(budget.clone()),
+            torn_kill: true,
+            ..Default::default()
+        };
+        let mut a = FaultyWriter::new(Vec::new(), 1, cfg());
+        let mut b = FaultyWriter::new(Vec::new(), 2, cfg());
+        a.write_all(b"1234").unwrap(); // budget: 2 left
+        let err = b.write_all(b"abcd").unwrap_err(); // torn after "ab"
+        assert!(is_injected_crash(&err));
+        // a's next write also dies: the shared budget is dry.
+        assert_eq!(budget.remaining(), 0);
+        assert!(a.write_all(b"x").is_err());
+        assert_eq!(a.into_inner(), b"1234");
+        assert_eq!(b.into_inner(), b"ab");
+    }
+
+    #[test]
+    fn abort_hook_fires_exactly_once() {
+        let fired = std::sync::Arc::new(AtomicU32::new(0));
+        let fired2 = std::sync::Arc::clone(&fired);
+        let mut w = FaultyWriter::new(
+            Vec::new(),
+            3,
+            WriteFaultConfig {
+                kill_after: Some(CrashBudget::new(2)),
+                torn_kill: true,
+                ..Default::default()
+            },
+        )
+        .with_abort_hook(move || {
+            fired2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(w.write_all(b"abcdef").is_err());
+        assert!(w.write_all(b"more").is_err());
+        assert!(w.flush().is_err());
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn flip_bits_flips_exactly_k_distinct() {

@@ -52,6 +52,18 @@ impl ContainerInfo {
 /// Parses a PaSTRI container's metadata. Cost is O(number of blocks), not
 /// O(data): only each block's first byte is examined.
 pub fn inspect(bytes: &[u8]) -> Result<ContainerInfo, DecompressError> {
+    let (mut info, _) = inspect_prefix(bytes)?;
+    // Historical behavior: the whole input is attributed to the
+    // container, trailing bytes included.
+    info.container_bytes = bytes.len();
+    Ok(info)
+}
+
+/// Parses a container at the *start* of `bytes`, tolerating trailing
+/// data, and returns the info plus the exact byte length the container
+/// occupies. This is what lets recovery re-walk back-to-back containers
+/// (e.g. rebuilding a store index after a crash) without an index.
+pub fn inspect_prefix(bytes: &[u8]) -> Result<(ContainerInfo, usize), DecompressError> {
     let mut pos = 0usize;
     if bytes.get(..4) != Some(b"PSTR".as_slice()) {
         return Err(DecompressError::BadMagic);
@@ -115,18 +127,21 @@ pub fn inspect(bytes: &[u8]) -> Result<ContainerInfo, DecompressError> {
         payload_bytes += len as u64;
         pos += len;
     }
-    Ok(ContainerInfo {
-        version,
-        error_bound,
-        geometry,
-        original_len,
-        num_blocks,
-        container_bytes: bytes.len(),
-        metric,
-        tree,
-        kind_counts,
-        payload_bytes,
-    })
+    Ok((
+        ContainerInfo {
+            version,
+            error_bound,
+            geometry,
+            original_len,
+            num_blocks,
+            container_bytes: pos,
+            metric,
+            tree,
+            kind_counts,
+            payload_bytes,
+        },
+        pos,
+    ))
 }
 
 fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
@@ -192,6 +207,25 @@ mod tests {
         let c = Compressor::new(geom, 1e-8);
         let bytes = c.compress(&[1e-5; 8]);
         assert!(inspect(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn inspect_prefix_tolerates_trailing_data() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-8);
+        let a = c.compress(&[1e-5; 8]);
+        let b = c.compress(&[2e-5; 8]);
+        // Two back-to-back containers: prefix parsing walks each exactly.
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let (info_a, len_a) = inspect_prefix(&joined).unwrap();
+        assert_eq!(len_a, a.len());
+        assert_eq!(info_a.container_bytes, a.len());
+        let (info_b, len_b) = inspect_prefix(&joined[len_a..]).unwrap();
+        assert_eq!(len_b, b.len());
+        assert_eq!(info_b.original_len, 8);
+        // Whole-input inspect still attributes everything to one container.
+        assert_eq!(inspect(&joined).unwrap().container_bytes, joined.len());
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 mod block;
 mod container;
+pub mod durable_stream;
 mod encoding;
 mod error;
 mod geometry;
@@ -71,7 +72,7 @@ pub use container::{
 pub use encoding::EncodingTree;
 pub use error::DecompressError;
 pub use geometry::BlockGeometry;
-pub use inspect::{inspect, ContainerInfo};
+pub use inspect::{inspect, inspect_prefix, ContainerInfo};
 pub use metrics::{fit_pattern, PatternFit, ScalingMetric};
 pub use quant::{ecq_bin_max, ecq_bits, Quantizer, ScaleQuantizer};
 pub use stats::{BlockTypeStats, CompressionStats, StorageBreakdown};
