@@ -49,6 +49,14 @@ pub fn crc32(data: &[u8]) -> u32 {
     h.finish()
 }
 
+/// Appends the little-endian CRC32 of `buf`'s current contents to `buf`
+/// itself — the "checksum everything above" idiom every PaSTRI header
+/// and parity record uses.
+pub fn append_crc32_of(buf: &mut Vec<u8>) {
+    let c = crc32(buf);
+    buf.extend_from_slice(&c.to_le_bytes());
+}
+
 /// Incremental CRC32 hasher, for checksumming data produced in pieces
 /// (e.g. a header written field by field).
 #[derive(Debug, Clone)]
@@ -129,6 +137,17 @@ mod tests {
                 data[byte] ^= 1 << bit;
             }
         }
+    }
+
+    #[test]
+    fn append_covers_everything_above() {
+        let mut buf = b"header bytes".to_vec();
+        let expect = crc32(&buf);
+        append_crc32_of(&mut buf);
+        assert_eq!(buf.len(), 12 + 4);
+        assert_eq!(&buf[12..], &expect.to_le_bytes());
+        // The stored CRC verifies against the prefix it covers.
+        assert_eq!(crc32(&buf[..12]), expect);
     }
 
     #[test]

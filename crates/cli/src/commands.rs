@@ -306,54 +306,98 @@ pub fn verify(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-fn damage_verdict(input: &str, damaged: usize, total: usize, unit: &str) -> Result<(), CliError> {
+fn damage_verdict(
+    input: &str,
+    repairable: usize,
+    unrepairable: usize,
+    total: usize,
+    unit: &str,
+) -> Result<(), CliError> {
+    let damaged = repairable + unrepairable;
     if damaged == 0 {
         Ok(())
+    } else if unrepairable == 0 {
+        Err(CliError::corruption(format!(
+            "{input}: {damaged} of {total} {unit}(s) damaged (all repairable — run `pastri scrub --repair`)"
+        )))
     } else {
         Err(CliError::corruption(format!(
-            "{input}: {damaged} of {total} {unit}(s) damaged"
+            "{input}: {damaged} of {total} {unit}(s) damaged ({unrepairable} beyond the parity budget)"
         )))
     }
 }
 
 fn verify_container(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
-    let decoded = pastri::decompress_lossy(&bytes)
+    // The repair report is the classification: it finds *all* on-disk
+    // damage (payloads, framing, and the parity section itself) and says
+    // which of it the parity budget covers — without modifying the file.
+    let (_, report) = pastri::repair_container(&bytes)
         .map_err(|e| CliError::corruption(format!("{input}: unrecoverable header damage: {e}")))?;
-    let total = decoded.outcomes.len();
+    let repairable = report.repaired_blocks.len();
+    let unrepairable = report.unrepairable_blocks.len();
     writeln!(
         out,
-        "{input}: PaSTRI container, {} blocks, {} damaged",
-        total,
-        decoded.damaged()
+        "{input}: PaSTRI container, {} blocks, {} damaged ({repairable} repairable, {unrepairable} unrepairable)",
+        report.total_blocks,
+        repairable + unrepairable,
     )?;
-    for o in &decoded.outcomes {
-        if let Some(e) = &o.error {
-            writeln!(out, "  block {} (offset {}): {e}", o.block, o.offset)?;
-        }
+    for b in &report.repaired_blocks {
+        writeln!(out, "  block {b}: damaged, repairable from parity")?;
     }
-    damage_verdict(input, decoded.damaged(), total, "block")
+    for b in &report.unrepairable_blocks {
+        writeln!(out, "  block {b}: damaged beyond the parity budget")?;
+    }
+    for g in &report.parity_groups_rebuilt {
+        writeln!(out, "  parity group {g}: parity section damaged (rebuildable)")?;
+    }
+    if report.is_clean() {
+        return Ok(());
+    }
+    if repairable + unrepairable == 0 {
+        // Damage confined to the redundancy itself: the data is intact,
+        // but the file is not the one the writer produced.
+        return Err(CliError::corruption(format!(
+            "{input}: {} parity group(s) damaged (data intact — run `pastri scrub --repair`)",
+            report.parity_groups_rebuilt.len()
+        )));
+    }
+    damage_verdict(input, repairable, unrepairable, report.total_blocks, "block")
 }
 
 fn verify_stream(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let file = fs::File::open(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
     let mut reader = pastri::stream::StreamReader::new(std::io::BufReader::new(file))
         .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
-    let mut damaged: Vec<String> = Vec::new();
+    let mut lines: Vec<String> = Vec::new();
+    let mut repairable = 0usize;
+    let mut unrepairable = 0usize;
     let mut total = 0usize;
     let mut tail_lost = false;
     loop {
         match reader.next_segment_or_skip() {
             Ok(Some(seg)) => {
                 total += 1;
-                if let Err(e) = &seg.values {
-                    damaged.push(format!("  segment {}: {e}", seg.index));
+                match (&seg.values, &seg.repair) {
+                    (Ok(_), None) => {}
+                    (Ok(_), Some(_)) => {
+                        repairable += 1;
+                        lines.push(format!(
+                            "  segment {}: damaged, repairable from parity",
+                            seg.index
+                        ));
+                    }
+                    (Err(e), _) => {
+                        unrepairable += 1;
+                        lines.push(format!("  segment {}: {e}", seg.index));
+                    }
                 }
             }
             Ok(None) => break,
             Err(e) => {
                 // Framing damage: the rest of the stream is unreadable.
-                damaged.push(format!("  segment {total}: framing lost ({e})"));
+                unrepairable += 1;
+                lines.push(format!("  segment {total}: framing lost ({e})"));
                 tail_lost = true;
                 break;
             }
@@ -361,14 +405,20 @@ fn verify_stream(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(
         out,
-        "{input}: PaSTRI stream, {total} segment(s) scanned, {} damaged{}",
-        damaged.len(),
+        "{input}: PaSTRI stream, {total} segment(s) scanned, {} damaged ({repairable} repairable){}",
+        repairable + unrepairable,
         if tail_lost { ", tail unreadable" } else { "" }
     )?;
-    for line in &damaged {
+    for line in &lines {
         writeln!(out, "{line}")?;
     }
-    damage_verdict(input, damaged.len(), total.max(damaged.len()), "segment")
+    damage_verdict(
+        input,
+        repairable,
+        unrepairable,
+        total.max(repairable + unrepairable),
+        "segment",
+    )
 }
 
 fn verify_store(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
@@ -377,24 +427,48 @@ fn verify_store(input: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let report = store
         .verify()
         .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
+    // Classify each damaged block: can its container's parity rebuild it?
+    let repairable: std::collections::BTreeSet<usize> = if report.is_clean() {
+        Default::default()
+    } else {
+        let (outcome, _) = store
+            .scrub()
+            .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
+        outcome.repaired.into_iter().collect()
+    };
     writeln!(
         out,
-        "{input}: ERI store v{}, {} block(s) scanned, {} damaged",
+        "{input}: ERI store v{}, {} block(s) scanned, {} damaged ({} repairable)",
         store.version(),
         report.blocks,
-        report.damaged.len()
+        report.damaged.len(),
+        repairable.len(),
     )?;
     for d in &report.damaged {
-        writeln!(out, "  block {} (offset {}): {}", d.block, d.offset, d.error)?;
+        let fate = if repairable.contains(&d.block) {
+            "repairable from parity"
+        } else {
+            "beyond the parity budget"
+        };
+        writeln!(
+            out,
+            "  block {} (offset {}): {} — {fate}",
+            d.block, d.offset, d.error
+        )?;
     }
-    damage_verdict(input, report.damaged.len(), report.blocks, "block")
+    let unrepairable = report.damaged.len() - repairable.len();
+    damage_verdict(input, repairable.len(), unrepairable, report.blocks, "block")
 }
 
 /// `pastri salvage <in.pstrs> <out.pstrs>`: rewrite a damaged stream,
-/// keeping every intact segment byte-for-byte and dropping the rest.
-/// The output is committed atomically (temp + fsync + rename) and always
-/// verifies clean; the exit code reports what salvage found in the
-/// *input* — 0 if nothing had to be dropped, 2 if data was lost.
+/// repairing damaged segments from their containers' parity where the
+/// budget allows, keeping intact segments byte-for-byte, and dropping
+/// only what is beyond repair. The output is committed atomically
+/// (temp file, fsync, rename) and always verifies clean; the exit code
+/// reports
+/// what salvage found in the *input* — 0 if no data was lost (repairs
+/// are not losses), 2 if segments were dropped or the tail was
+/// unreadable.
 pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let input = args.positional(0, "in.pstrs")?;
@@ -413,8 +487,9 @@ pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::new(format!("{output}: {e}")))?;
     writeln!(
         out,
-        "{input} -> {output}: kept {} segment(s), dropped {}{}",
+        "{input} -> {output}: kept {} segment(s), repaired {}, dropped {}{}",
         report.kept,
+        report.repaired.len(),
         report.dropped.len(),
         if report.tail_lost {
             " (framing damage: tail lost)"
@@ -422,10 +497,13 @@ pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             ""
         }
     )?;
+    for (index, _) in &report.repaired {
+        writeln!(out, "  repaired segment {index} from parity")?;
+    }
     for (index, err) in &report.dropped {
         writeln!(out, "  dropped segment {index}: {err}")?;
     }
-    if report.dropped.is_empty() && !report.tail_lost {
+    if report.is_lossless() {
         Ok(())
     } else {
         Err(CliError::corruption(format!(
@@ -434,6 +512,200 @@ pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             if report.tail_lost { " and lost the tail" } else { "" }
         )))
     }
+}
+
+/// `pastri scrub <file> [--repair]`: the maintenance half of
+/// self-healing storage. Scans any PaSTRI artifact — container, stream,
+/// or ERI store — and classifies every damaged block/segment as
+/// repairable (its parity budget covers the damage) or not. With
+/// `--repair`, repairable damage is healed *in place*: the fixed file is
+/// rewritten atomically (temp + fsync + rename), byte-identical to what
+/// the writer originally produced. When damage exceeds the parity
+/// budget, the damaged original is preserved at `<file>.quarantine`
+/// before any rewrite, so nothing is destroyed by a best-effort repair.
+///
+/// Exit codes: 0 clean, 0 damage fully repaired in place (with report),
+/// 2 damage present and not (fully) repaired.
+pub fn scrub(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "file")?;
+    let do_repair = args.switch("repair");
+    let bytes = fs::read(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    if bytes.starts_with(b"ERISTOR") {
+        scrub_store(input, do_repair, out)
+    } else if bytes.starts_with(b"PSTRS") {
+        scrub_stream(input, &bytes, do_repair, out)
+    } else if bytes.starts_with(b"PSTR") {
+        scrub_container(input, &bytes, do_repair, out)
+    } else {
+        Err(CliError::new(format!(
+            "{input}: not a PaSTRI container, stream, or store (unknown magic)"
+        )))
+    }
+}
+
+/// Atomically replaces `path` with `bytes` (temp + fsync + rename).
+fn rewrite_atomic(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    durable::atomic_write(std::path::Path::new(path), bytes)
+        .map_err(|e| CliError::new(format!("rewriting {path}: {e}")))
+}
+
+/// Preserves the damaged original at `<path>.quarantine` so a partial
+/// repair never destroys forensic evidence.
+fn quarantine(path: &str, bytes: &[u8], out: &mut dyn Write) -> Result<(), CliError> {
+    let qpath = format!("{path}.quarantine");
+    rewrite_atomic(&qpath, bytes)?;
+    writeln!(out, "  damaged original preserved at {qpath}")?;
+    Ok(())
+}
+
+fn scrub_container(
+    input: &str,
+    bytes: &[u8],
+    do_repair: bool,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (repaired_bytes, report) = pastri::repair_container(bytes)
+        .map_err(|e| CliError::corruption(format!("{input}: unrecoverable header damage: {e}")))?;
+    if report.is_clean() {
+        writeln!(out, "{input}: clean ({} blocks)", report.total_blocks)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{input}: PaSTRI container, {} blocks — {} repairable, {} unrepairable, {} parity group(s) to rebuild",
+        report.total_blocks,
+        report.repaired_blocks.len(),
+        report.unrepairable_blocks.len(),
+        report.parity_groups_rebuilt.len(),
+    )?;
+    if !do_repair {
+        return Err(CliError::corruption(format!(
+            "{input}: damage found (re-run with --repair to heal in place)"
+        )));
+    }
+    if report.is_fully_repaired() {
+        rewrite_atomic(input, &repaired_bytes)?;
+        writeln!(
+            out,
+            "{input}: repaired in place ({} block(s) rebuilt, {} parity group(s) regenerated)",
+            report.repaired_blocks.len(),
+            report.parity_groups_rebuilt.len()
+        )?;
+        return Ok(());
+    }
+    // Partial repair: heal what the parity covers, but keep the damaged
+    // original quarantined and report failure.
+    quarantine(input, bytes, out)?;
+    rewrite_atomic(input, &repaired_bytes)?;
+    Err(CliError::corruption(format!(
+        "{input}: {} block(s) damaged beyond the parity budget",
+        report.unrepairable_blocks.len()
+    )))
+}
+
+fn scrub_stream(
+    input: &str,
+    bytes: &[u8],
+    do_repair: bool,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    // Salvage into memory: that *is* the scrub — it repairs what parity
+    // covers and drops the rest, and its report is the classification.
+    let mut healed = Vec::with_capacity(bytes.len());
+    let report = pastri::stream::salvage(bytes, &mut healed)
+        .map_err(|e| CliError::new(format!("scrubbing {input}: {e}")))?;
+    if report.is_clean() {
+        writeln!(out, "{input}: clean ({} segments)", report.kept)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{input}: PaSTRI stream — {} kept, {} repairable, {} beyond repair{}",
+        report.kept,
+        report.repaired.len(),
+        report.dropped.len(),
+        if report.tail_lost { ", tail unreadable" } else { "" }
+    )?;
+    if !do_repair {
+        return Err(CliError::corruption(format!(
+            "{input}: damage found (re-run with --repair to heal in place)"
+        )));
+    }
+    if report.is_lossless() {
+        rewrite_atomic(input, &healed)?;
+        writeln!(
+            out,
+            "{input}: repaired in place ({} segment(s) rebuilt from parity)",
+            report.repaired.len()
+        )?;
+        return Ok(());
+    }
+    quarantine(input, bytes, out)?;
+    rewrite_atomic(input, &healed)?;
+    Err(CliError::corruption(format!(
+        "{input}: {} segment(s) dropped{}",
+        report.dropped.len(),
+        if report.tail_lost { " and the tail was unreadable" } else { "" }
+    )))
+}
+
+fn scrub_store(input: &str, do_repair: bool, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = std::path::Path::new(input);
+    let mut store = eri_store::StoreReader::open(path)
+        .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
+    let (outcome, patches) = store
+        .scrub()
+        .map_err(|e| CliError::corruption(format!("{input}: {e}")))?;
+    if outcome.is_clean() {
+        writeln!(out, "{input}: clean ({} blocks)", outcome.blocks)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{input}: ERI store, {} blocks — {} repairable, {} unrepairable",
+        outcome.blocks,
+        outcome.repaired.len(),
+        outcome.unrepairable.len(),
+    )?;
+    for b in &outcome.unrepairable {
+        writeln!(out, "  block {b}: damaged beyond the parity budget")?;
+    }
+    if !do_repair {
+        return Err(CliError::corruption(format!(
+            "{input}: damage found (re-run with --repair to heal in place)"
+        )));
+    }
+    // Splice the certified patches into a copy and atomically swap it
+    // in. Each patch is byte-identical to the originally-written block
+    // (the index CRC vouches), so repaired stores verify clean.
+    let original = fs::read(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let mut bytes = original.clone();
+    for (offset, patch) in &patches {
+        let start = *offset as usize;
+        let end = start + patch.len();
+        if end > bytes.len() {
+            return Err(CliError::corruption(format!(
+                "{input}: repair patch for offset {offset} falls outside the file"
+            )));
+        }
+        bytes[start..end].copy_from_slice(patch);
+    }
+    if outcome.unrepairable.is_empty() {
+        rewrite_atomic(input, &bytes)?;
+        writeln!(
+            out,
+            "{input}: repaired in place ({} block(s) rebuilt from parity)",
+            outcome.repaired.len()
+        )?;
+        return Ok(());
+    }
+    quarantine(input, &original, out)?;
+    rewrite_atomic(input, &bytes)?;
+    Err(CliError::corruption(format!(
+        "{input}: {} block(s) damaged beyond the parity budget",
+        outcome.unrepairable.len()
+    )))
 }
 
 /// `pastri gen <out.f64> --molecule benzene --config (dd|dd) ...`.
@@ -612,6 +884,21 @@ mod tests {
         }
     }
 
+    /// LEB128 varint at `pos`; returns (value, offset past it).
+    fn read_varint_at(bytes: &[u8], mut pos: usize) -> (usize, usize) {
+        let mut v = 0usize;
+        let mut shift = 0;
+        loop {
+            let b = bytes[pos];
+            pos += 1;
+            v |= ((b & 0x7f) as usize) << shift;
+            if b & 0x80 == 0 {
+                return (v, pos);
+            }
+            shift += 7;
+        }
+    }
+
     #[test]
     fn verify_and_salvage_damaged_stream() {
         let dir = tmpdir();
@@ -635,33 +922,48 @@ mod tests {
         // Clean stream verifies with exit 0.
         verify(&sv(&[&comp]), &mut Vec::new()).unwrap();
 
-        // Flip one bit deep inside a segment payload.
-        let mut bytes = fs::read(&comp).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x10;
+        // Flip one bit deep inside the first segment's container (walk
+        // the stream framing: "PSTRS" + version byte, then varint len).
+        let clean = fs::read(&comp).unwrap();
+        let (seg_len, seg_start) = read_varint_at(&clean, 6);
+        let mut bytes = clean.clone();
+        bytes[seg_start + seg_len / 2] ^= 0x10;
         fs::write(&comp, &bytes).unwrap();
 
         // Damaged stream: verify fails with a damage report and the
-        // documented corruption exit code.
+        // documented corruption exit code — even though the damage is
+        // repairable, the bytes on disk are not what was written.
         let mut report = Vec::new();
         let err = verify(&sv(&[&comp]), &mut report).unwrap_err();
         assert!(err.message.contains("damaged"), "{}", err.message);
         assert_eq!(err.code, 2, "verify damage is exit code 2");
         let text = String::from_utf8(report).unwrap();
         assert!(text.contains("segment"), "{text}");
+        assert!(text.contains("repairable"), "{text}");
 
-        // Salvage drops the damaged segment (exit 2: data was lost) but
-        // still writes an output that verifies clean.
+        // Salvage heals the damaged segment from parity: nothing was
+        // lost, so the exit code is 0, and the output is byte-identical
+        // to the stream as originally written.
         let mut out = Vec::new();
-        let err = salvage(&sv(&[&comp, &fixed]), &mut out).unwrap_err();
-        assert_eq!(err.code, 2, "lossy salvage is exit code 2");
+        salvage(&sv(&[&comp, &fixed]), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("dropped 1"), "{text}");
+        assert!(text.contains("repaired 1"), "{text}");
+        assert_eq!(fs::read(&fixed).unwrap(), clean, "salvage heals to original bytes");
         verify(&sv(&[&fixed]), &mut Vec::new()).unwrap();
 
-        // Salvaging the already-clean output drops nothing: exit 0.
+        // Salvaging the already-clean output repairs/drops nothing.
         let refixed = dir.join("v-refixed.pstrs").to_string_lossy().into_owned();
         salvage(&sv(&[&fixed, &refixed]), &mut Vec::new()).unwrap();
+
+        // Truncation loses real data: salvage reports it with exit 2 but
+        // still writes an output that verifies clean.
+        let torn = dir.join("v-torn.pstrs").to_string_lossy().into_owned();
+        let cut = dir.join("v-cut.pstrs").to_string_lossy().into_owned();
+        fs::write(&torn, &clean[..clean.len() - 12]).unwrap();
+        let mut out = Vec::new();
+        let err = salvage(&sv(&[&torn, &cut]), &mut out).unwrap_err();
+        assert_eq!(err.code, 2, "lossy salvage is exit code 2");
+        verify(&sv(&[&cut]), &mut Vec::new()).unwrap();
     }
 
     #[test]
@@ -765,7 +1067,8 @@ mod tests {
         compress(&sv(&[&raw, &comp, "--config", "dddd"]), &mut out).unwrap();
         verify(&sv(&[&comp]), &mut Vec::new()).unwrap();
 
-        // Damage a block payload: verify must name the block.
+        // Damage near the end lands in the parity section: the data is
+        // intact, but verify must still flag the file as damaged.
         let mut bytes = fs::read(&comp).unwrap();
         let last = bytes.len() - 9;
         bytes[last] ^= 0x01;
@@ -775,6 +1078,157 @@ mod tests {
         assert!(err.message.contains("damaged"), "{}", err.message);
         let text = String::from_utf8(report).unwrap();
         assert!(text.contains("block"), "{text}");
+
+        // Damage a block payload proper: verify must name the block and
+        // classify it repairable.
+        let clean = {
+            bytes[last] ^= 0x01;
+            bytes.clone()
+        };
+        let info = pastri::inspect(&clean).unwrap();
+        let parity_start = info.container_bytes - info.parity_bytes as usize;
+        bytes[parity_start - 4] ^= 0x01; // tail of the last block's frame
+        fs::write(&comp, &bytes).unwrap();
+        let mut report = Vec::new();
+        let err = verify(&sv(&[&comp]), &mut report).unwrap_err();
+        assert_eq!(err.code, 2);
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("repairable from parity"), "{text}");
+    }
+
+    #[test]
+    fn scrub_heals_container_in_place() {
+        let dir = tmpdir();
+        let raw = dir.join("sc.f64").to_string_lossy().into_owned();
+        let comp = dir.join("sc.pastri").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "6", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(&sv(&[&raw, &comp, "--config", "dddd"]), &mut out).unwrap();
+        let clean = fs::read(&comp).unwrap();
+
+        // Clean file: scrub is a no-op with exit 0.
+        let mut report = Vec::new();
+        scrub(&sv(&[&comp]), &mut report).unwrap();
+        assert!(String::from_utf8(report).unwrap().contains("clean"));
+
+        // Flip a byte in a block payload.
+        let info = pastri::inspect(&clean).unwrap();
+        let parity_start = info.container_bytes - info.parity_bytes as usize;
+        let mut bytes = clean.clone();
+        bytes[parity_start - 4] ^= 0x40;
+        fs::write(&comp, &bytes).unwrap();
+
+        // Without --repair: detect-only, exit 2, file untouched.
+        let err = scrub(&sv(&[&comp]), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--repair"), "{}", err.message);
+        assert_eq!(fs::read(&comp).unwrap(), bytes, "detect-only must not modify");
+
+        // With --repair: healed in place, byte-identical, exit 0.
+        let mut report = Vec::new();
+        scrub(&sv(&[&comp, "--repair"]), &mut report).unwrap();
+        assert!(String::from_utf8(report).unwrap().contains("repaired in place"));
+        assert_eq!(fs::read(&comp).unwrap(), clean, "repair restores original bytes");
+        verify(&sv(&[&comp]), &mut Vec::new()).unwrap();
+    }
+
+    #[test]
+    fn scrub_quarantines_unrepairable_container() {
+        let dir = tmpdir();
+        let raw = dir.join("sq.f64").to_string_lossy().into_owned();
+        let comp = dir.join("sq.pastri").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "6", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(&sv(&[&raw, &comp, "--config", "dddd"]), &mut out).unwrap();
+        let clean = fs::read(&comp).unwrap();
+
+        // Damage three block payloads in the same parity group: one more
+        // than the two-shard budget covers. (Offsets point at each
+        // block's framing; +8 is safely inside the payload proper.)
+        let decoded = pastri::decompress_lossy(&clean).unwrap();
+        let mut bytes = clean.clone();
+        for o in decoded.outcomes.iter().take(3) {
+            bytes[o.offset as usize + 8] ^= 0x40;
+        }
+        fs::write(&comp, &bytes).unwrap();
+
+        let mut report = Vec::new();
+        let err = scrub(&sv(&[&comp, "--repair"]), &mut report).unwrap_err();
+        assert_eq!(err.code, 2, "unrepairable damage is exit 2");
+        assert!(err.message.contains("beyond the parity budget"), "{}", err.message);
+        // The damaged original is quarantined before any rewrite.
+        let q = format!("{comp}.quarantine");
+        assert_eq!(fs::read(&q).unwrap(), bytes, "quarantine preserves the damage");
+    }
+
+    #[test]
+    fn scrub_heals_stream_and_store_in_place() {
+        let dir = tmpdir();
+        let raw = dir.join("ss.f64").to_string_lossy().into_owned();
+        let comp = dir.join("ss.pstrs").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "8", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(
+            &sv(&[
+                &raw, &comp, "--config", "dddd", "--stream", "--segment-blocks", "2",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let clean = fs::read(&comp).unwrap();
+        scrub(&sv(&[&comp]), &mut Vec::new()).unwrap();
+
+        // Flip deep inside the first segment, then heal in place.
+        let (seg_len, seg_start) = read_varint_at(&clean, 6);
+        let mut bytes = clean.clone();
+        bytes[seg_start + seg_len / 2] ^= 0x20;
+        fs::write(&comp, &bytes).unwrap();
+        let err = scrub(&sv(&[&comp]), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        let mut report = Vec::new();
+        scrub(&sv(&[&comp, "--repair"]), &mut report).unwrap();
+        assert!(String::from_utf8(report).unwrap().contains("repaired in place"));
+        assert_eq!(fs::read(&comp).unwrap(), clean);
+        verify(&sv(&[&comp]), &mut Vec::new()).unwrap();
+
+        // Same cycle for an ERI store: flip inside the first block's
+        // parity shards (located by walking the container prefix).
+        let store_path = dir.join("ss.eristore");
+        let geom = pastri::BlockGeometry::new(4, 9);
+        let mut w = eri_store::StoreWriter::create(&store_path, geom, 1e-10).unwrap();
+        let values: Vec<f64> = (0..geom.block_size() * 5)
+            .map(|i| ((i % 53) as f64 * 0.23).sin() * 2e-6)
+            .collect();
+        w.append_blocks(&values).unwrap();
+        w.finish().unwrap();
+        let store = store_path.to_string_lossy().into_owned();
+        let clean = fs::read(&store_path).unwrap();
+        scrub(&sv(&[&store]), &mut Vec::new()).unwrap();
+
+        const STORE_HEADER: usize = 52;
+        let (_, first_len) = pastri::inspect_prefix(&clean[STORE_HEADER..]).unwrap();
+        let mut bytes = clean.clone();
+        bytes[STORE_HEADER + first_len - 9] ^= 0x04;
+        fs::write(&store_path, &bytes).unwrap();
+        let err = scrub(&sv(&[&store]), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        let mut report = Vec::new();
+        scrub(&sv(&[&store, "--repair"]), &mut report).unwrap();
+        assert!(String::from_utf8(report).unwrap().contains("repaired in place"));
+        assert_eq!(fs::read(&store_path).unwrap(), clean);
+        verify(&sv(&[&store]), &mut Vec::new()).unwrap();
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! * `inspect`    — print container metadata and per-block-kind census
 //! * `verify`     — integrity-scan a container/stream/store; non-zero
 //!   exit with a per-block damage report when anything is corrupt
-//! * `salvage`    — rewrite a damaged stream keeping intact segments
+//! * `scrub`      — classify damage as repairable/unrepairable; with
+//!   `--repair`, heal it in place from the containers' parity sections
+//! * `salvage`    — rewrite a damaged stream, repairing what parity
+//!   covers and keeping intact segments
 //! * `gen`        — generate an ERI dataset file (GAMESS stand-in)
 //! * `assess`     — compare an original and a decompressed file
 //!
@@ -78,6 +81,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "decompress" => commands::decompress(rest, out),
         "inspect" => commands::inspect(rest, out),
         "verify" => commands::verify(rest, out),
+        "scrub" => commands::scrub(rest, out),
         "salvage" => commands::salvage(rest, out),
         "gen" => commands::generate(rest, out),
         "assess" => commands::assess(rest, out),
@@ -104,6 +108,7 @@ USAGE:
   pastri decompress <in.pastri> <out.f64>
   pastri inspect    <in.pastri>
   pastri verify     <file>            (container, stream, or ERI store)
+  pastri scrub      <file> [--repair] (heal damage in place from parity)
   pastri salvage    <in.pstrs> <out.pstrs>
   pastri gen        <out.f64> --molecule benzene --config (dd|dd)
                     [--blocks 100] [--seed 0] [--cluster 1] [--model]
@@ -128,8 +133,16 @@ DURABILITY (streamed compression):
                          byte-identical to an uninterrupted run. Pass
                          the same flags as the interrupted run.
 
+SELF-HEALING:
+  Containers carry Reed-Solomon parity by default (v3): up to 2 damaged
+  blocks per group of 8 rebuild bit-exact. `verify` classifies damage as
+  repairable/unrepairable; `scrub --repair` heals repairable damage in
+  place (atomic rewrite), quarantining the damaged original at
+  <file>.quarantine when anything is beyond the parity budget.
+
 EXIT CODES:
-  0  success / artifact clean
+  0  success / artifact clean / scrub fully repaired in place
   1  I/O or usage error (missing file, bad flag, unknown format)
-  2  corruption found (verify found damage; salvage dropped segments)"
+  2  corruption found (verify found damage; scrub could not fully
+     repair, or found damage without --repair; salvage dropped data)"
 }

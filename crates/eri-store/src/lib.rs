@@ -178,6 +178,24 @@ impl From<pastri::DecompressError> for StoreError {
     }
 }
 
+/// Counters a [`StoreReader`] accumulates across its lifetime:
+/// transient-fault handling and self-healing activity. Query with
+/// [`StoreReader::read_stats`] to see what a run's reads actually cost.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Transient I/O errors absorbed by the retry policy.
+    pub transient_retries: u64,
+    /// Total microseconds slept in retry backoff.
+    pub backoff_micros: u64,
+    /// Blocks whose checksum failed but that were rebuilt from their
+    /// container's parity section (and re-certified against the index
+    /// CRC) before being served.
+    pub blocks_repaired: u64,
+    /// Blocks that failed terminally: damaged beyond the parity budget
+    /// (or carrying no parity at all).
+    pub blocks_dropped: u64,
+}
+
 /// Bounded exponential backoff for transient read errors
 /// (`Interrupted`, `WouldBlock`, `TimedOut`).
 #[derive(Debug, Clone, Copy)]
@@ -224,7 +242,12 @@ fn is_transient(kind: ErrorKind) -> bool {
 /// Hand-rolled rather than `Read::read_exact` because std's loop retries
 /// `Interrupted` *unboundedly* and fails every other transient kind
 /// immediately — here both are bounded and backed off.
-fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8], policy: &RetryPolicy) -> io::Result<()> {
+fn read_exact_retry<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    policy: &RetryPolicy,
+    stats: &mut ReadStats,
+) -> io::Result<()> {
     let mut filled = 0usize;
     let mut retries = 0u32;
     let mut backoff = policy.initial_backoff;
@@ -247,7 +270,9 @@ fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8], policy: &RetryPolicy) ->
                     return Err(e);
                 }
                 retries += 1;
+                stats.transient_retries += 1;
                 if !backoff.is_zero() {
+                    stats.backoff_micros += backoff.as_micros() as u64;
                     std::thread::sleep(backoff);
                 }
                 backoff = (backoff * 2).min(policy.max_backoff);
@@ -641,6 +666,7 @@ pub struct StoreReader<R: Read + Seek = File> {
     geometry: BlockGeometry,
     error_bound: f64,
     index: Vec<IndexEntry>,
+    stats: ReadStats,
 }
 
 impl StoreReader<File> {
@@ -655,10 +681,11 @@ impl<R: Read + Seek> StoreReader<R> {
     /// read errors per `retry`. Validates the header (and, for v2, the
     /// header and index checksums) and loads the index.
     pub fn from_source(mut source: R, retry: RetryPolicy) -> Result<Self, StoreError> {
+        let mut stats = ReadStats::default();
         let file_len = source.seek(SeekFrom::End(0))?;
         source.seek(SeekFrom::Start(0))?;
         let mut header = [0u8; HEADER_BODY_LEN as usize];
-        read_exact_retry(&mut source, &mut header, &retry)?;
+        read_exact_retry(&mut source, &mut header, &retry, &mut stats)?;
         let version = if header[..8] == MAGIC_V2 {
             2
         } else if header[..8] == MAGIC_V1 {
@@ -668,7 +695,7 @@ impl<R: Read + Seek> StoreReader<R> {
         };
         if version == 2 {
             let mut crc_buf = [0u8; 4];
-            read_exact_retry(&mut source, &mut crc_buf, &retry)?;
+            read_exact_retry(&mut source, &mut crc_buf, &retry, &mut stats)?;
             let stored = u32::from_le_bytes(crc_buf);
             let actual = crc32(&header);
             if stored != actual {
@@ -705,10 +732,10 @@ impl<R: Read + Seek> StoreReader<R> {
         }
         source.seek(SeekFrom::Start(index_offset))?;
         let mut index_bytes = vec![0u8; index_bytes_len as usize];
-        read_exact_retry(&mut source, &mut index_bytes, &retry)?;
+        read_exact_retry(&mut source, &mut index_bytes, &retry, &mut stats)?;
         if version == 2 {
             let mut crc_buf = [0u8; 4];
-            read_exact_retry(&mut source, &mut crc_buf, &retry)?;
+            read_exact_retry(&mut source, &mut crc_buf, &retry, &mut stats)?;
             let stored = u32::from_le_bytes(crc_buf);
             let actual = crc32(&index_bytes);
             if stored != actual {
@@ -737,6 +764,7 @@ impl<R: Read + Seek> StoreReader<R> {
             geometry: BlockGeometry::new(num_sb, sb_size),
             error_bound: eb,
             index,
+            stats,
         })
     }
 
@@ -764,16 +792,29 @@ impl<R: Read + Seek> StoreReader<R> {
         self.error_bound
     }
 
-    /// Reads block `i`'s raw container bytes and verifies its stored
-    /// CRC32 (v2).
-    fn read_block_bytes(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
+    /// Lifetime counters: transient retries absorbed, backoff slept,
+    /// blocks repaired from parity, blocks lost.
+    #[must_use]
+    pub fn read_stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    /// Reads block `i`'s raw container bytes, unverified.
+    fn read_block_raw(&mut self, i: usize) -> Result<(IndexEntry, Vec<u8>), StoreError> {
         let entry = *self.index.get(i).ok_or(StoreError::OutOfRange {
             index: i,
             blocks: self.index.len(),
         })?;
         self.source.seek(SeekFrom::Start(entry.offset))?;
         let mut payload = vec![0u8; entry.len as usize];
-        read_exact_retry(&mut self.source, &mut payload, &self.retry)?;
+        read_exact_retry(&mut self.source, &mut payload, &self.retry, &mut self.stats)?;
+        Ok((entry, payload))
+    }
+
+    /// Reads block `i`'s raw container bytes and verifies its stored
+    /// CRC32 (v2).
+    fn read_block_bytes(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
+        let (entry, payload) = self.read_block_raw(i)?;
         if let Some(stored) = entry.crc {
             let actual = crc32(&payload);
             if stored != actual {
@@ -788,12 +829,50 @@ impl<R: Read + Seek> StoreReader<R> {
         Ok(payload)
     }
 
+    /// Attempts to rebuild block `i`'s container from its own parity
+    /// section. The repair is accepted only if the rebuilt bytes match
+    /// the index CRC — i.e. they are bit-for-bit what the writer stored
+    /// — so a wrong repair can never masquerade as a right one.
+    fn try_repair_block(&mut self, i: usize) -> Option<Vec<u8>> {
+        let (entry, payload) = self.read_block_raw(i).ok()?;
+        let stored = entry.crc?;
+        let (repaired, report) = pastri::repair_container(&payload).ok()?;
+        if report.is_fully_repaired() && crc32(&repaired) == stored {
+            Some(repaired)
+        } else {
+            None
+        }
+    }
+
     /// Reads and decompresses block `i` (random access: one seek + one
-    /// read of the compressed payload). Damage is reported with the
-    /// block index and file offset attached.
+    /// read of the compressed payload). A block whose checksum fails is
+    /// transparently rebuilt from its container's parity section when
+    /// possible (counted in [`ReadStats::blocks_repaired`]); damage
+    /// beyond the parity budget is reported with the block index and
+    /// file offset attached (and counted in
+    /// [`ReadStats::blocks_dropped`]).
     pub fn read_block(&mut self, i: usize) -> Result<Vec<f64>, StoreError> {
-        let payload = self.read_block_bytes(i)?;
-        Ok(pastri::decompress(&payload)?)
+        let payload = match self.read_block_bytes(i) {
+            Ok(p) => p,
+            Err(e @ StoreError::Checksum { .. }) => match self.try_repair_block(i) {
+                Some(repaired) => {
+                    self.stats.blocks_repaired += 1;
+                    repaired
+                }
+                None => {
+                    self.stats.blocks_dropped += 1;
+                    return Err(e);
+                }
+            },
+            Err(e) => return Err(e),
+        };
+        match pastri::decompress(&payload) {
+            Ok(values) => Ok(values),
+            Err(e) => {
+                self.stats.blocks_dropped += 1;
+                Err(e.into())
+            }
+        }
     }
 
     /// Reads the whole store back as one stream (iteration order).
@@ -836,6 +915,57 @@ impl<R: Read + Seek> StoreReader<R> {
             }
         }
         Ok(report)
+    }
+
+    /// Scrub pass: scans every block like [`verify`](Self::verify), then
+    /// tries to rebuild each damaged one from its container's parity
+    /// section. Returns the classification plus, for every successful
+    /// rebuild, the `(absolute file offset, repaired container bytes)`
+    /// patch — byte-identical to what the writer stored (certified by
+    /// the index CRC), so a caller can splice the patches into a copy of
+    /// the store file and atomically swap it in.
+    pub fn scrub(&mut self) -> Result<(ScrubOutcome, Vec<ScrubPatch>), StoreError> {
+        let report = self.verify()?;
+        let mut outcome = ScrubOutcome {
+            blocks: report.blocks,
+            repaired: Vec::new(),
+            unrepairable: Vec::new(),
+        };
+        let mut patches = Vec::new();
+        for damage in report.damaged {
+            let i = damage.block;
+            match self.try_repair_block(i) {
+                Some(repaired) => {
+                    outcome.repaired.push(i);
+                    patches.push((self.index[i].offset, repaired));
+                }
+                None => outcome.unrepairable.push(i),
+            }
+        }
+        Ok((outcome, patches))
+    }
+}
+
+/// One successful rebuild from a scrub pass: the damaged container's
+/// absolute file offset and its byte-identical replacement.
+pub type ScrubPatch = (u64, Vec<u8>);
+
+/// Classification from a [`StoreReader::scrub`] pass.
+#[derive(Debug)]
+pub struct ScrubOutcome {
+    /// Blocks scanned.
+    pub blocks: usize,
+    /// Damaged blocks whose containers rebuilt byte-identical.
+    pub repaired: Vec<usize>,
+    /// Damaged blocks beyond their parity budget (quarantine these).
+    pub unrepairable: Vec<usize>,
+}
+
+impl ScrubOutcome {
+    /// No damage at all?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.repaired.is_empty() && self.unrepairable.is_empty()
     }
 }
 
@@ -1093,18 +1223,70 @@ mod tests {
     }
 
     #[test]
-    fn payload_flip_pinned_to_block() {
+    fn payload_flip_repairs_on_read() {
+        let geom = BlockGeometry::new(4, 4);
+        let blocks: Vec<Vec<f64>> = (0..6).map(|b| patterned_block(geom, b)).collect();
+        let (clean_bytes, spans) = store_bytes(geom, 1e-9, &blocks);
+        let mut bytes = clean_bytes.clone();
+        let (off, len) = spans[4];
+        bytes[(off + len / 2) as usize] ^= 0x01;
+
+        let mut clean_r =
+            StoreReader::from_source(Cursor::new(clean_bytes.clone()), RetryPolicy::none())
+                .unwrap();
+        let expected = clean_r.read_block(4).unwrap();
+
+        let mut r =
+            StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap();
+        // Undamaged blocks still read, and don't touch the repair stats.
+        for i in [0usize, 1, 2, 3, 5] {
+            r.read_block(i).unwrap();
+        }
+        assert_eq!(r.read_stats().blocks_repaired, 0);
+        // The damaged one is rebuilt from its container's parity section
+        // and served bit-exact — and the repair is accounted for.
+        let got = r.read_block(4).unwrap();
+        assert_eq!(got, expected, "repaired read must match the clean read");
+        assert_eq!(r.read_stats().blocks_repaired, 1);
+        assert_eq!(r.read_stats().blocks_dropped, 0);
+
+        // verify() still reports the on-disk damage (it certifies bytes,
+        // not serveability)...
+        let report = r.verify().unwrap();
+        assert_eq!(report.blocks, 6);
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].block, 4);
+        assert_eq!(report.damaged[0].offset, off);
+        // ...and scrub() classifies it repairable, with a patch that is
+        // byte-identical to what the writer originally stored.
+        let (outcome, patches) = r.scrub().unwrap();
+        assert_eq!(outcome.repaired, vec![4]);
+        assert!(outcome.unrepairable.is_empty());
+        assert_eq!(patches.len(), 1);
+        assert_eq!(patches[0].0, off);
+        assert_eq!(
+            patches[0].1,
+            clean_bytes[off as usize..(off + len) as usize].to_vec()
+        );
+    }
+
+    #[test]
+    fn damage_beyond_parity_budget_pinned_to_block() {
         let geom = BlockGeometry::new(4, 4);
         let blocks: Vec<Vec<f64>> = (0..6).map(|b| patterned_block(geom, b)).collect();
         let (mut bytes, spans) = store_bytes(geom, 1e-9, &blocks);
         let (off, len) = spans[4];
-        bytes[(off + len / 2) as usize] ^= 0x01;
-        let mut r = StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap();
-        // Undamaged blocks still read.
+        // Shred the whole container — payload and both parity shards —
+        // so the damage exceeds the per-group parity budget.
+        for p in (off + 8..off + len).step_by(7) {
+            bytes[p as usize] ^= 0x55;
+        }
+        let mut r =
+            StoreReader::from_source(Cursor::new(bytes), RetryPolicy::none()).unwrap();
         for i in [0usize, 1, 2, 3, 5] {
             r.read_block(i).unwrap();
         }
-        // The damaged one is pinned by index and offset.
+        // Pinned by index and offset, and counted as dropped.
         match r.read_block(4).unwrap_err() {
             StoreError::Checksum { block, offset, .. } => {
                 assert_eq!(block, Some(4));
@@ -1112,12 +1294,13 @@ mod tests {
             }
             other => panic!("expected checksum error, got {other:?}"),
         }
-        // verify() finds exactly that block.
-        let report = r.verify().unwrap();
-        assert_eq!(report.blocks, 6);
-        assert_eq!(report.damaged.len(), 1);
-        assert_eq!(report.damaged[0].block, 4);
-        assert_eq!(report.damaged[0].offset, off);
+        assert_eq!(r.read_stats().blocks_dropped, 1);
+        assert_eq!(r.read_stats().blocks_repaired, 0);
+        // scrub() agrees: damaged, and beyond repair.
+        let (outcome, patches) = r.scrub().unwrap();
+        assert_eq!(outcome.unrepairable, vec![4]);
+        assert!(outcome.repaired.is_empty());
+        assert!(patches.is_empty());
     }
 
     #[test]
@@ -1218,6 +1401,12 @@ mod tests {
             r.source.transient_errors_injected() > 0,
             "the fault injector must actually have fired"
         );
+        assert!(
+            r.read_stats().transient_retries > 0,
+            "absorbed retries must be visible in the read stats"
+        );
+        assert_eq!(r.read_stats().blocks_repaired, 0);
+        assert_eq!(r.read_stats().blocks_dropped, 0);
     }
 
     #[test]

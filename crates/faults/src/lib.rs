@@ -188,6 +188,183 @@ pub fn flip_bits(bytes: &mut [u8], from: usize, k: usize, seed: u64) -> Vec<(usi
     flipped
 }
 
+/// Deterministic silent-data-corruption injector: exactly `k` distinct
+/// bit flips at seeded offsets within a fixed byte span `[from, to)`.
+///
+/// The flip *plan* — which (absolute byte, bit) positions get hit — is a
+/// pure function of `(span, k, seed)`, computed up front with the same
+/// arithmetic as [`flip_bits`]. The plan can then be applied any way a
+/// test needs: to an in-memory buffer ([`apply`](Self::apply)), to a
+/// file on disk in place ([`apply_to_file`](Self::apply_to_file)), or in
+/// flight through [`Read`]/[`Write`] wrappers
+/// ([`reader`](Self::reader) / [`writer`](Self::writer)) — all four
+/// produce byte-identical corruption, so an SDC scenario reproduces
+/// exactly regardless of how the bytes move. The wrappers compose with
+/// [`FaultyWriter`]/[`CrashBudget`]: wrap a `FaultyWriter` in a
+/// `BitFlipper` writer to model a run that both crashes *and* takes
+/// silent corruption.
+#[derive(Debug, Clone)]
+pub struct BitFlipper {
+    /// Planned `(absolute byte offset, bit)` flips, sorted by offset.
+    plan: Vec<(u64, u8)>,
+}
+
+impl BitFlipper {
+    /// Plans `k` distinct bit flips within byte span `[from, to)`,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if the span cannot hold `k` distinct bits.
+    #[must_use]
+    pub fn new(from: u64, to: u64, k: usize, seed: u64) -> Self {
+        let span = to.checked_sub(from).expect("span end before start") as usize;
+        assert!(k <= span * 8, "cannot flip {k} distinct bits in {span} bytes");
+        let mut plan: Vec<(u64, u8)> = Vec::with_capacity(k);
+        let mut state = seed;
+        while plan.len() < k {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let h = splitmix64(state);
+            let byte = from + (h as usize % span) as u64;
+            let bit = ((h >> 32) % 8) as u8;
+            if plan.contains(&(byte, bit)) {
+                continue;
+            }
+            plan.push((byte, bit));
+        }
+        plan.sort_unstable();
+        Self { plan }
+    }
+
+    /// The planned `(absolute byte offset, bit)` positions, sorted.
+    #[must_use]
+    pub fn plan(&self) -> &[(u64, u8)] {
+        &self.plan
+    }
+
+    /// Applies every planned flip to `bytes` (offsets are absolute into
+    /// this buffer).
+    ///
+    /// # Panics
+    /// Panics if a planned offset falls outside the buffer.
+    pub fn apply(&self, bytes: &mut [u8]) {
+        for &(byte, bit) in &self.plan {
+            bytes[usize::try_from(byte).expect("offset fits usize")] ^= 1 << bit;
+        }
+    }
+
+    /// Applies every planned flip to the file at `path`, in place.
+    pub fn apply_to_file(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut bytes = std::fs::read(path)?;
+        if let Some(&(last, _)) = self.plan.last() {
+            if last >= bytes.len() as u64 {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidInput,
+                    format!("flip offset {last} beyond file length {}", bytes.len()),
+                ));
+            }
+        }
+        self.apply(&mut bytes);
+        std::fs::write(path, bytes)
+    }
+
+    /// Wraps a writer: planned flips land on bytes as they stream
+    /// through (offset = count of bytes written so far).
+    pub fn writer<W: Write>(self, inner: W) -> FlippingWriter<W> {
+        FlippingWriter {
+            inner,
+            flipper: self,
+            pos: 0,
+        }
+    }
+
+    /// Wraps a reader: planned flips land on bytes as they are read.
+    pub fn reader<R: Read>(self, inner: R) -> FlippingReader<R> {
+        FlippingReader {
+            inner,
+            flipper: self,
+            pos: 0,
+        }
+    }
+
+    /// Flips the planned bits inside `buf`, which holds the bytes at
+    /// absolute offsets `[pos, pos + buf.len())`.
+    fn apply_window(&self, buf: &mut [u8], pos: u64) {
+        let end = pos + buf.len() as u64;
+        let start = self.plan.partition_point(|&(b, _)| b < pos);
+        for &(byte, bit) in &self.plan[start..] {
+            if byte >= end {
+                break;
+            }
+            buf[(byte - pos) as usize] ^= 1 << bit;
+        }
+    }
+}
+
+/// Write half of [`BitFlipper`]: corrupts planned offsets in flight.
+pub struct FlippingWriter<W> {
+    inner: W,
+    flipper: BitFlipper,
+    pos: u64,
+}
+
+impl<W> FlippingWriter<W> {
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FlippingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut corrupted = buf.to_vec();
+        self.flipper.apply_window(&mut corrupted, self.pos);
+        let n = self.inner.write(&corrupted)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<W: durable::SyncWrite> durable::SyncWrite for FlippingWriter<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// Read half of [`BitFlipper`]: corrupts planned offsets in flight.
+pub struct FlippingReader<R> {
+    inner: R,
+    flipper: BitFlipper,
+    pos: u64,
+}
+
+impl<R> FlippingReader<R> {
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FlippingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.flipper.apply_window(&mut buf[..n], self.pos);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for FlippingReader<R> {
+    fn seek(&mut self, to: SeekFrom) -> io::Result<u64> {
+        let pos = self.inner.seek(to)?;
+        self.pos = pos;
+        Ok(pos)
+    }
+}
+
 /// Shared byte allowance for a simulated crash: writers draw from it on
 /// every accepted byte, and once it runs dry they all die together —
 /// modeling a process kill at one instant across the data file *and*
@@ -615,6 +792,94 @@ mod tests {
     }
 
     use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn bit_flipper_every_route_is_identical() {
+        // The same plan applied in memory, through a writer, through a
+        // reader, and to a file must corrupt byte-identically.
+        let clean = data(2048);
+        let flipper = BitFlipper::new(64, 2048, 12, 0xfeed);
+        assert_eq!(flipper.plan().len(), 12);
+        assert!(flipper.plan().windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+
+        let mut in_memory = clean.clone();
+        flipper.apply(&mut in_memory);
+        let diff: u32 = in_memory
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 12);
+
+        // Writer route, in awkward chunk sizes.
+        let mut w = flipper.clone().writer(Vec::new());
+        for chunk in clean.chunks(37) {
+            w.write_all(chunk).unwrap();
+        }
+        assert_eq!(w.into_inner(), in_memory);
+
+        // Reader route.
+        let mut r = flipper.clone().reader(Cursor::new(clean.clone()));
+        let mut via_reader = Vec::new();
+        r.read_to_end(&mut via_reader).unwrap();
+        assert_eq!(via_reader, in_memory);
+
+        // File route.
+        let path = std::env::temp_dir().join(format!("bitflip-{}", std::process::id()));
+        std::fs::write(&path, &clean).unwrap();
+        flipper.apply_to_file(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), in_memory);
+        let _ = std::fs::remove_file(&path);
+
+        // Determinism: same (span, k, seed) → same plan; different seed
+        // → different plan.
+        assert_eq!(BitFlipper::new(64, 2048, 12, 0xfeed).plan(), flipper.plan());
+        assert_ne!(BitFlipper::new(64, 2048, 12, 0xbeef).plan(), flipper.plan());
+    }
+
+    #[test]
+    fn bit_flipper_seek_keeps_offsets_absolute() {
+        let clean = data(1024);
+        let flipper = BitFlipper::new(0, 1024, 9, 3);
+        let mut expect = clean.clone();
+        flipper.apply(&mut expect);
+
+        let mut r = flipper.reader(Cursor::new(clean));
+        let mut second = vec![0u8; 512];
+        r.seek(SeekFrom::Start(512)).unwrap();
+        r.read_exact(&mut second).unwrap();
+        let mut first = vec![0u8; 512];
+        r.seek(SeekFrom::Start(0)).unwrap();
+        r.read_exact(&mut first).unwrap();
+        first.extend_from_slice(&second);
+        assert_eq!(first, expect, "flips must track absolute offsets across seeks");
+    }
+
+    #[test]
+    fn bit_flipper_composes_with_crash_budget() {
+        // SDC + crash in one run: the flipper corrupts in flight, the
+        // budget kills the process partway. Bytes that land before the
+        // kill carry the planned flips; nothing lands after.
+        let budget = CrashBudget::new(300);
+        let faulty = FaultyWriter::new(
+            Vec::new(),
+            1,
+            WriteFaultConfig {
+                kill_after: Some(budget),
+                torn_kill: true,
+                ..Default::default()
+            },
+        );
+        let flipper = BitFlipper::new(0, 1000, 20, 55);
+        let mut w = flipper.clone().writer(faulty);
+        let err = w.write_all(&data(1000)).unwrap_err();
+        assert!(is_injected_crash(&err));
+        let landed = w.into_inner().into_inner();
+        assert_eq!(landed.len(), 300);
+        let mut expect = data(1000);
+        flipper.apply(&mut expect);
+        assert_eq!(landed, expect[..300].to_vec());
+    }
 
     #[test]
     fn flip_bits_flips_exactly_k_distinct() {

@@ -1,0 +1,114 @@
+//! Property tests for the Reed–Solomon erasure code: for any group
+//! shape, shard length, and erasure pattern of size ≤ parity, the
+//! original shards come back byte-exact; one erasure past the parity
+//! budget fails loudly with `TooManyErasures`.
+
+use parity::{ParityError, ReedSolomon};
+use proptest::prelude::*;
+
+fn erase(
+    total: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut picked = Vec::new();
+    let mut state = seed | 1;
+    while picked.len() < count {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let idx = (state as usize) % total;
+        if !picked.contains(&idx) {
+            picked.push(idx);
+        }
+    }
+    picked
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_erasure_pattern_within_budget_reconstructs_exactly(
+        d in 1usize..=12,
+        p in 1usize..=4,
+        len in 0usize..200,
+        erasures_seed in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..2400),
+    ) {
+        let rs = ReedSolomon::new(d, p).unwrap();
+        let shards: Vec<Vec<u8>> = (0..d)
+            .map(|i| {
+                (0..len)
+                    .map(|k| data.get(i * len + k).copied().unwrap_or((i + k) as u8))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(Vec::as_slice).collect();
+        let parity = rs.encode(&refs).unwrap();
+
+        for count in 0..=p {
+            let mut slots: Vec<Option<Vec<u8>>> = shards
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            for idx in erase(d + p, count, erasures_seed ^ count as u64) {
+                slots[idx] = None;
+            }
+            rs.reconstruct(&mut slots).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                prop_assert_eq!(slots[i].as_ref().unwrap(), s);
+            }
+            for (j, s) in parity.iter().enumerate() {
+                prop_assert_eq!(slots[d + j].as_ref().unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn one_past_the_budget_fails_loudly(
+        d in 2usize..=10,
+        p in 1usize..=3,
+        len in 1usize..64,
+        erasures_seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(d, p).unwrap();
+        let shards: Vec<Vec<u8>> = (0..d)
+            .map(|i| (0..len).map(|k| (i * 31 + k * 7) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(Vec::as_slice).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut slots: Vec<Option<Vec<u8>>> = shards
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        for idx in erase(d + p, p + 1, erasures_seed) {
+            slots[idx] = None;
+        }
+        prop_assert_eq!(
+            rs.reconstruct(&mut slots),
+            Err(ParityError::TooManyErasures { present: d - 1, needed: d })
+        );
+    }
+
+    #[test]
+    fn parity_is_deterministic(
+        d in 1usize..=8,
+        len in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(d, 2).unwrap();
+        let shards: Vec<Vec<u8>> = (0..d)
+            .map(|i| {
+                (0..len)
+                    .map(|k| (seed.wrapping_mul(i as u64 + 1).wrapping_add(k as u64) >> 5) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(rs.encode(&refs).unwrap(), rs.encode(&refs).unwrap());
+    }
+}

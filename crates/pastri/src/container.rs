@@ -1,10 +1,10 @@
 //! The PaSTRI container format and the top-level [`Compressor`] API.
 //!
-//! Byte layout (version 2, current):
+//! Byte layout (version 3, current):
 //!
 //! ```text
 //! magic            4 bytes  "PSTR"
-//! version          1 byte   (= 2)
+//! version          1 byte   (= 3)
 //! metric wire id   1 byte   (provenance; not needed to decode)
 //! tree wire id     1 byte
 //! error bound      8 bytes  f64 LE
@@ -12,15 +12,28 @@
 //! subblock_size    varint
 //! original_len     varint   (doubles, before tail padding)
 //! num_blocks       varint
+//! parity_group     varint   (blocks per parity group)
+//! parity_shards    varint   (erasure shards per group)
+//! blocks_len       varint   (total bytes of the blocks section)
 //! header_crc32     4 bytes  u32 LE  (CRC32 of every byte above)
 //! blocks           num_blocks × { varint payload_bytes;
 //!                                 payload_crc32 4 bytes u32 LE;
 //!                                 payload }
+//! parity records   ceil(num_blocks / parity_group) ×
+//!                  { varint record_len;       (bytes after this varint)
+//!                    varint group_offset;     (first frame, relative to
+//!                                              the blocks section start)
+//!                    varint × blocks-in-group payload lengths;
+//!                    meta_crc32 4 bytes;      (over everything above)
+//!                    parity_shards × shard_crc32 4 bytes;
+//!                    parity_shards × shard    (len = max payload len) }
 //! ```
 //!
-//! Version 1 is the same layout minus both CRC32 fields; the decoder
-//! keeps that path alive behind the version byte, so pre-v2 archives
-//! remain readable.
+//! Version 2 is the same layout minus the three parity header varints and
+//! the parity section; version 1 further drops both CRC32 fields. The
+//! decoder keeps both paths alive behind the version byte, so pre-v3
+//! archives remain readable, and [`ParityConfig::NONE`] still *writes*
+//! byte-identical v2 containers for callers that want zero overhead.
 //!
 //! Each block payload is byte-aligned and self-contained, which is what
 //! makes PaSTRI "highly parallelizable … each block compressed and
@@ -30,6 +43,16 @@
 //! a flipped bit is pinned to one block, strict decoding reports exactly
 //! which block (and byte offset) failed, and [`decompress_lossy`]
 //! recovers every other block.
+//!
+//! The v3 parity section turns detection into **repair**: every group of
+//! `parity_group` blocks carries `parity_shards` GF(256) Reed–Solomon
+//! erasure shards (see the `parity` crate), so up to `parity_shards`
+//! damaged blocks per group reconstruct byte-exactly. The record also
+//! duplicates each block's payload length and the group's absolute
+//! offset, CRC-protected — framing damage (a corrupted length varint,
+//! which pre-v3 lost every later block) is now repaired from the
+//! duplicate lengths, and each group re-anchors independently. See
+//! [`crate::repair_container`].
 
 use bitio::{BitReader, BitWriter};
 use checksum::crc32;
@@ -43,12 +66,63 @@ use crate::metrics::ScalingMetric;
 use crate::quant::Quantizer;
 use crate::stats::CompressionStats;
 
-const MAGIC: [u8; 4] = *b"PSTR";
-/// Current container version (writes). The decoder also accepts
-/// [`VERSION_V1`].
-const VERSION: u8 = 2;
+pub(crate) const MAGIC: [u8; 4] = *b"PSTR";
+/// Current container version with a parity section (default writes).
+pub(crate) const VERSION_V3: u8 = 3;
+/// Checksummed, parity-free container version (written by
+/// [`ParityConfig::NONE`]; still decodable).
+pub(crate) const VERSION_V2: u8 = 2;
 /// Legacy checksum-free container version (still decodable).
-const VERSION_V1: u8 = 1;
+pub(crate) const VERSION_V1: u8 = 1;
+
+/// Forward-error-correction configuration: how blocks are grouped and
+/// how many GF(256) Reed–Solomon erasure shards protect each group.
+///
+/// The trade-off is overhead versus blast radius: `parity_shards` of
+/// parity per `group_size` blocks costs roughly
+/// `parity_shards / group_size` of the compressed size (shards are as
+/// long as the group's largest payload) and repairs up to
+/// `parity_shards` damaged blocks per group. The default — 2 shards per
+/// 8 blocks — survives any double-fault per group for ~25% overhead on
+/// top of PaSTRI's ~10–16× compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityConfig {
+    /// Blocks per parity group (last group may be smaller).
+    pub group_size: usize,
+    /// Erasure shards per group; `0` disables parity and writes the
+    /// v2 container layout byte-identically.
+    pub parity_shards: usize,
+}
+
+impl ParityConfig {
+    /// No parity: writes the pre-v3 (v2) container layout exactly.
+    pub const NONE: ParityConfig = ParityConfig {
+        group_size: 8,
+        parity_shards: 0,
+    };
+
+    /// Is this configuration encodable? GF(256) limits a group plus its
+    /// shards to 255 total.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.group_size >= 1 && self.group_size + self.parity_shards <= 255
+    }
+
+    /// Does this configuration emit a parity section?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.parity_shards > 0
+    }
+}
+
+impl Default for ParityConfig {
+    fn default() -> Self {
+        ParityConfig {
+            group_size: 8,
+            parity_shards: 2,
+        }
+    }
+}
 
 /// How many bits quantize the scaling coefficients (paper Sec. IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +161,9 @@ pub struct CompressorOptions {
     pub scale_rule: ScaleRule,
     /// ECQ representation policy (default: adaptive).
     pub ecq_repr: EcqRepr,
+    /// Forward-error-correction layout (default: 2 erasure shards per
+    /// 8-block group; [`ParityConfig::NONE`] writes parity-free v2).
+    pub parity: ParityConfig,
 }
 
 /// The PaSTRI compressor for one block geometry and error bound.
@@ -125,6 +202,12 @@ impl Compressor {
     /// Compressor with explicit metric/tree choices.
     #[must_use]
     pub fn with_options(geometry: BlockGeometry, eb: f64, options: CompressorOptions) -> Self {
+        assert!(
+            options.parity.is_valid(),
+            "parity group + shards must fit GF(256): group {} + shards {} > 255",
+            options.parity.group_size,
+            options.parity.parity_shards
+        );
         Self {
             geometry,
             quant: Quantizer::new(eb),
@@ -211,31 +294,36 @@ impl Compressor {
 
         // Assemble the container.
         let mut out = Vec::with_capacity(32 + results.iter().map(|(p, _)| p.len() + 9).sum::<usize>());
-        self.write_header(&mut out, data.len(), num_blocks);
-        let header_len = out.len();
-        for (payload, _) in &results {
-            write_varint(&mut out, payload.len() as u64);
-            out.extend_from_slice(&crc32(payload).to_le_bytes());
-            out.extend_from_slice(payload);
-        }
+        let payloads: Vec<&[u8]> = results.iter().map(|(p, _)| p.as_slice()).collect();
+        let overhead = self.assemble_container(&mut out, data.len(), &payloads);
         if let Some(s) = stats {
             for (_, local) in &results {
                 s.merge(local);
             }
-            let framing = header_len as u64
-                + results
-                    .iter()
-                    .map(|(p, _)| varint_len(p.len() as u64) as u64 + 4)
-                    .sum::<u64>();
-            s.record_container_bits(framing * 8);
+            // Everything that is not block payload — header, framing,
+            // and the parity section — is container overhead.
+            s.record_container_bits(overhead as u64 * 8);
         }
         (out, ())
     }
 
-    /// Writes the v2 container header (magic through header CRC32).
-    fn write_header(&self, out: &mut Vec<u8>, data_len: usize, num_blocks: usize) {
+    /// Writes the complete container — header, framed blocks, and (for
+    /// parity-enabled options) the parity section — into `out` from the
+    /// per-block compressed `payloads`. Both compression paths funnel
+    /// through here, which is what keeps them byte-identical. Returns the
+    /// non-payload byte count (header + framing + parity section).
+    fn assemble_container(&self, out: &mut Vec<u8>, data_len: usize, payloads: &[&[u8]]) -> usize {
+        let num_blocks = payloads.len();
+        let parity = self.options.parity;
+        let with_parity = parity.enabled();
+        let blocks_len: usize = payloads
+            .iter()
+            .map(|p| varint_len(p.len() as u64) + 4 + p.len())
+            .sum();
+
+        out.clear();
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(if with_parity { VERSION_V3 } else { VERSION_V2 });
         out.push(self.options.metric.wire_id());
         out.push(self.options.tree.wire_id());
         out.extend_from_slice(&self.quant.eb().to_le_bytes());
@@ -243,8 +331,29 @@ impl Compressor {
         write_varint(out, self.geometry.subblock_size as u64);
         write_varint(out, data_len as u64);
         write_varint(out, num_blocks as u64);
-        let header_crc = crc32(out);
-        out.extend_from_slice(&header_crc.to_le_bytes());
+        if with_parity {
+            write_varint(out, parity.group_size as u64);
+            write_varint(out, parity.parity_shards as u64);
+            write_varint(out, blocks_len as u64);
+        }
+        checksum::append_crc32_of(out);
+
+        for p in payloads {
+            write_varint(out, p.len() as u64);
+            out.extend_from_slice(&crc32(p).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        if with_parity {
+            let mut group_offset = 0u64;
+            for group in payloads.chunks(parity.group_size) {
+                write_parity_record(out, group, group_offset, parity.parity_shards);
+                group_offset += group
+                    .iter()
+                    .map(|p| (varint_len(p.len() as u64) + 4 + p.len()) as u64)
+                    .sum::<u64>();
+            }
+        }
+        out.len() - payloads.iter().map(|p| p.len()).sum::<usize>()
     }
 
     /// Sequential [`compress`](Self::compress) into a caller-owned output
@@ -260,8 +369,13 @@ impl Compressor {
     ) {
         let bs = self.geometry.block_size();
         let num_blocks = self.geometry.blocks_for_len(data.len());
-        out.clear();
-        self.write_header(out, data.len(), num_blocks);
+        // Payloads are buffered (concatenated, with recorded lengths)
+        // before assembly: the v3 header records the blocks-section
+        // length and the parity section needs every payload, so the
+        // header can no longer be streamed out first. The buffers live in
+        // `scratch`, keeping the steady state allocation-free.
+        scratch.payloads.clear();
+        scratch.lens.clear();
         for b in 0..num_blocks {
             let start = b * bs;
             let end = ((b + 1) * bs).min(data.len());
@@ -289,10 +403,16 @@ impl Compressor {
                 );
             }
             let payload = scratch.writer.aligned_bytes();
-            write_varint(out, payload.len() as u64);
-            out.extend_from_slice(&crc32(payload).to_le_bytes());
-            out.extend_from_slice(payload);
+            scratch.payloads.extend_from_slice(payload);
+            scratch.lens.push(payload.len());
         }
+        let mut payloads = Vec::with_capacity(num_blocks);
+        let mut at = 0usize;
+        for &len in &scratch.lens {
+            payloads.push(&scratch.payloads[at..at + len]);
+            at += len;
+        }
+        self.assemble_container(out, data.len(), &payloads);
     }
 
     /// Decompresses a PaSTRI container produced by any [`Compressor`];
@@ -309,6 +429,10 @@ impl Compressor {
 pub struct CompressScratch {
     writer: BitWriter,
     padded: Vec<f64>,
+    /// Concatenated per-block payloads awaiting assembly.
+    payloads: Vec<u8>,
+    /// Byte length of each payload in `payloads`.
+    lens: Vec<usize>,
 }
 
 impl CompressScratch {
@@ -327,26 +451,80 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f64>, DecompressError> {
     Ok(out)
 }
 
-/// Parsed, validated container header.
-struct Header {
-    version: u8,
-    tree: EncodingTree,
-    eb: f64,
-    geometry: BlockGeometry,
-    original_len: usize,
-    num_blocks: usize,
-    /// Byte offset of the first block's framing (just past the header and,
-    /// for v2, its CRC32).
-    blocks_start: usize,
-}
+/// One complete parity record as assembled by the writer: the canonical
+/// byte encoding for the group covering `payloads`, starting
+/// `group_offset` bytes into the blocks section. `pub(crate)` so the
+/// repair path can re-emit records byte-identically.
+pub(crate) fn write_parity_record(
+    out: &mut Vec<u8>,
+    payloads: &[&[u8]],
+    group_offset: u64,
+    parity_shards: usize,
+) {
+    let shard_len = payloads.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut meta = Vec::new();
+    write_varint(&mut meta, group_offset);
+    for p in payloads {
+        write_varint(&mut meta, p.len() as u64);
+    }
+    let record_len = meta.len() + 4 + parity_shards * 4 + parity_shards * shard_len;
+    let record_start = out.len();
+    write_varint(out, record_len as u64);
+    out.extend_from_slice(&meta);
+    let meta_crc = crc32(&out[record_start..]);
+    out.extend_from_slice(&meta_crc.to_le_bytes());
 
-impl Header {
-    fn has_checksums(&self) -> bool {
-        self.version >= VERSION
+    let rs = parity::ReedSolomon::new(payloads.len(), parity_shards)
+        .expect("parity config validated at construction");
+    let padded: Vec<Vec<u8>> = payloads
+        .iter()
+        .map(|p| {
+            let mut v = p.to_vec();
+            v.resize(shard_len, 0);
+            v
+        })
+        .collect();
+    let refs: Vec<&[u8]> = padded.iter().map(Vec::as_slice).collect();
+    let shards = rs.encode(&refs).expect("shards padded to equal length");
+    for s in &shards {
+        out.extend_from_slice(&crc32(s).to_le_bytes());
+    }
+    for s in &shards {
+        out.extend_from_slice(s);
     }
 }
 
-fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
+/// Parsed, validated container header.
+pub(crate) struct Header {
+    pub(crate) version: u8,
+    pub(crate) tree: EncodingTree,
+    pub(crate) eb: f64,
+    pub(crate) geometry: BlockGeometry,
+    pub(crate) original_len: usize,
+    pub(crate) num_blocks: usize,
+    /// Blocks per parity group (v3; 0 otherwise).
+    pub(crate) parity_group: usize,
+    /// Erasure shards per parity group (v3; 0 otherwise).
+    pub(crate) parity_shards: usize,
+    /// Declared byte length of the blocks section (v3; 0 otherwise).
+    /// Locates the parity section even when block framing is damaged.
+    pub(crate) blocks_len: usize,
+    /// Byte offset of the first block's framing (just past the header and,
+    /// for v2+, its CRC32).
+    pub(crate) blocks_start: usize,
+}
+
+impl Header {
+    pub(crate) fn has_checksums(&self) -> bool {
+        self.version >= VERSION_V2
+    }
+
+    pub(crate) fn has_parity(&self) -> bool {
+        self.version >= VERSION_V3 && self.parity_shards > 0
+    }
+}
+
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
     let mut pos = 0usize;
     let magic = bytes.get(..4).ok_or(DecompressError::Truncated)?;
     if magic != MAGIC {
@@ -354,7 +532,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
     }
     pos += 4;
     let version = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
-    if version != VERSION && version != VERSION_V1 {
+    if version != VERSION_V3 && version != VERSION_V2 && version != VERSION_V1 {
         return Err(DecompressError::BadVersion(version));
     }
     pos += 1;
@@ -381,6 +559,18 @@ fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
     }
     let original_len = read_varint(bytes, &mut pos)? as usize;
     let num_blocks = read_varint(bytes, &mut pos)? as usize;
+    let (mut parity_group, mut parity_shards, mut blocks_len) = (0usize, 0usize, 0usize);
+    if version >= VERSION_V3 {
+        parity_group = read_varint(bytes, &mut pos)? as usize;
+        parity_shards = read_varint(bytes, &mut pos)? as usize;
+        blocks_len = read_varint(bytes, &mut pos)? as usize;
+        if parity_group == 0
+            || parity_shards == 0
+            || parity_group.saturating_add(parity_shards) > 255
+        {
+            return Err(DecompressError::corrupt("implausible parity geometry"));
+        }
+    }
     let geometry = BlockGeometry::new(num_sb, sb_size);
     let bs = geometry.block_size();
     if num_blocks != geometry.blocks_for_len(original_len) {
@@ -399,7 +589,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
         return Err(DecompressError::corrupt("decoded size exceeds in-memory ceiling"));
     }
 
-    if version >= VERSION {
+    if version >= VERSION_V2 {
         let stored = u32::from_le_bytes(
             bytes
                 .get(pos..pos + 4)
@@ -426,24 +616,27 @@ fn parse_header(bytes: &[u8]) -> Result<Header, DecompressError> {
         geometry,
         original_len,
         num_blocks,
+        parity_group,
+        parity_shards,
+        blocks_len,
         blocks_start: pos,
     })
 }
 
 /// One block's framing within a container: where it sits, its declared
-/// checksum (v2), and the payload bytes.
-struct BlockFrame<'a> {
+/// checksum (v2+), and the payload bytes.
+pub(crate) struct BlockFrame<'a> {
     /// Container byte offset of this block's length varint.
-    offset: u64,
+    pub(crate) offset: u64,
     /// CRC32 recorded in the container; `None` for v1.
-    stored_crc: Option<u32>,
-    payload: &'a [u8],
+    pub(crate) stored_crc: Option<u32>,
+    pub(crate) payload: &'a [u8],
 }
 
 /// Reads the next block frame. Validates the declared length against the
 /// remaining input *before* any allocation or slicing, so a hostile
 /// length field cannot trigger an oversized request.
-fn next_frame<'a>(
+pub(crate) fn next_frame<'a>(
     bytes: &'a [u8],
     pos: &mut usize,
     checksummed: bool,
@@ -479,7 +672,7 @@ fn next_frame<'a>(
 }
 
 /// Verifies a frame's stored CRC32 against its payload (no-op for v1).
-fn verify_frame(frame: &BlockFrame<'_>, block: usize) -> Result<(), DecompressError> {
+pub(crate) fn verify_frame(frame: &BlockFrame<'_>, block: usize) -> Result<(), DecompressError> {
     if let Some(stored) = frame.stored_crc {
         let actual = crc32(frame.payload);
         if stored != actual {
@@ -517,6 +710,29 @@ pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), Decompres
         verify_frame(&frame, b)?;
         frames.push(frame);
     }
+    if header.version >= VERSION_V3 {
+        if pos != header.blocks_start + header.blocks_len {
+            return Err(
+                DecompressError::corrupt("blocks section length mismatch").at_offset(pos as u64)
+            );
+        }
+        // Strict decode also demands an intact parity section: walk the
+        // record chain (a handful of varints) so a torn tail is an error,
+        // not silence.
+        for _ in 0..header.num_blocks.div_ceil(header.parity_group) {
+            let record_len = read_varint(bytes, &mut pos)? as usize;
+            pos = pos
+                .checked_add(record_len)
+                .filter(|&p| p <= bytes.len())
+                .ok_or(DecompressError::Truncated)?;
+        }
+        if pos != bytes.len() {
+            return Err(
+                DecompressError::corrupt("trailing bytes after parity section")
+                    .at_offset(pos as u64),
+            );
+        }
+    }
 
     let quant = Quantizer::new(header.eb);
     out.clear();
@@ -544,10 +760,13 @@ pub struct BlockOutcome {
     pub offset: u64,
     /// `None` if the block decoded cleanly; otherwise why it was skipped.
     pub error: Option<DecompressError>,
+    /// `true` when the block was damaged on disk but reconstructed from
+    /// the container's parity section before decoding (v3 only).
+    pub repaired: bool,
 }
 
 impl BlockOutcome {
-    /// Did this block decode cleanly?
+    /// Did this block decode cleanly (possibly after parity repair)?
     #[must_use]
     pub fn is_ok(&self) -> bool {
         self.error.is_none()
@@ -573,24 +792,50 @@ impl LossyDecode {
         self.outcomes.iter().filter(|o| !o.is_ok()).count()
     }
 
-    /// `true` when every block decoded cleanly.
+    /// Number of blocks reconstructed from parity before decoding.
+    #[must_use]
+    pub fn repaired(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.repaired).count()
+    }
+
+    /// `true` when every block decoded cleanly (repaired blocks count as
+    /// clean — their values are byte-exact reconstructions).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.damaged() == 0
     }
 }
 
-/// Best-effort decompression: damaged blocks are skipped (their output
-/// left zero-filled) and reported, instead of failing the whole dataset.
-/// Only header-level damage — bad magic/version, a truncated or
-/// checksum-failed header — is a hard error, because without a trusted
-/// header there is no geometry to frame blocks with.
+/// Best-effort decompression: damaged blocks are first *repaired* from
+/// the container's parity section (v3), and only blocks beyond the
+/// parity budget are skipped (their output left zero-filled) and
+/// reported. Only header-level damage — bad magic/version, a truncated
+/// or checksum-failed header — is a hard error, because without a
+/// trusted header there is no geometry to frame blocks with.
 ///
 /// Every recovered block still honors the container's error bound; the
 /// report tells the caller exactly which value ranges are untrustworthy
-/// (block `b` covers `b·block_size .. (b+1)·block_size` values).
+/// (block `b` covers `b·block_size .. (b+1)·block_size` values) and
+/// which were silently repaired ([`BlockOutcome::repaired`]).
 pub fn decompress_lossy(bytes: &[u8]) -> Result<LossyDecode, DecompressError> {
     let header = parse_header(bytes)?;
+    if header.has_parity() {
+        let (repaired_bytes, report) = crate::repair::repair_with_header(bytes, &header);
+        if !report.repaired_blocks.is_empty() {
+            let repaired_header = parse_header(&repaired_bytes)?;
+            let mut decode = decompress_lossy_core(&repaired_bytes, &repaired_header)?;
+            for &b in &report.repaired_blocks {
+                if let Some(o) = decode.outcomes.get_mut(b) {
+                    o.repaired = true;
+                }
+            }
+            return Ok(decode);
+        }
+    }
+    decompress_lossy_core(bytes, &header)
+}
+
+fn decompress_lossy_core(bytes: &[u8], header: &Header) -> Result<LossyDecode, DecompressError> {
     let geometry = header.geometry;
     let bs = geometry.block_size();
     let tree = header.tree;
@@ -630,6 +875,7 @@ pub fn decompress_lossy(bytes: &[u8]) -> Result<LossyDecode, DecompressError> {
                         block: b,
                         offset: *offset,
                         error: Some(*e),
+                        repaired: false,
                     }
                 }
                 Ok(frame) => verify_frame(frame, b).err().or_else(|| {
@@ -653,6 +899,7 @@ pub fn decompress_lossy(bytes: &[u8]) -> Result<LossyDecode, DecompressError> {
                 block: b,
                 offset,
                 error,
+                repaired: false,
             }
         })
         .collect();
@@ -660,7 +907,7 @@ pub fn decompress_lossy(bytes: &[u8]) -> Result<LossyDecode, DecompressError> {
     Ok(LossyDecode { values, outcomes })
 }
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -672,12 +919,12 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn varint_len(v: u64) -> usize {
+pub(crate) fn varint_len(v: u64) -> usize {
     let bits = 64 - v.leading_zeros().min(63);
     (bits as usize).div_ceil(7).max(1)
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -715,12 +962,25 @@ mod tests {
         data
     }
 
+    /// A compressor writing the parity-free v2 layout — for tests that
+    /// assert the pre-v3 bytes or the detect-without-repair semantics.
+    fn no_parity(geom: BlockGeometry, eb: f64) -> Compressor {
+        Compressor::with_options(
+            geom,
+            eb,
+            CompressorOptions {
+                parity: ParityConfig::NONE,
+                ..Default::default()
+            },
+        )
+    }
+
     /// Rewrites a v2 container as the checksum-free v1 layout — the exact
     /// bytes the pre-v2 encoder produced. Lets every test exercise the
     /// legacy decode path without golden files.
     fn strip_to_v1(v2: &[u8]) -> Vec<u8> {
         let header = parse_header(v2).expect("valid v2 container");
-        assert_eq!(header.version, VERSION);
+        assert_eq!(header.version, VERSION_V2);
         let mut out = Vec::with_capacity(v2.len());
         // Header minus its trailing CRC32, with the version byte rewritten.
         out.extend_from_slice(&v2[..header.blocks_start - 4]);
@@ -902,11 +1162,12 @@ mod tests {
     #[test]
     fn writes_v2_with_valid_checksums() {
         let geom = BlockGeometry::new(2, 4);
-        let c = Compressor::new(geom, 1e-9);
+        let c = no_parity(geom, 1e-9);
         let bytes = c.compress(&patterned_stream(3, geom));
-        assert_eq!(bytes[4], VERSION);
+        assert_eq!(bytes[4], VERSION_V2);
         let header = parse_header(&bytes).unwrap();
         assert!(header.has_checksums());
+        assert!(!header.has_parity());
         let mut pos = header.blocks_start;
         for b in 0..header.num_blocks {
             let frame = next_frame(&bytes, &mut pos, true).unwrap();
@@ -916,9 +1177,56 @@ mod tests {
     }
 
     #[test]
+    fn writes_v3_with_parity_section_by_default() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let bytes = c.compress(&patterned_stream(11, geom)); // 2 groups of 8 (one partial)
+        assert_eq!(bytes[4], VERSION_V3);
+        let header = parse_header(&bytes).unwrap();
+        assert!(header.has_parity());
+        assert_eq!(header.parity_group, 8);
+        assert_eq!(header.parity_shards, 2);
+
+        // Blocks section ends exactly where the header says.
+        let mut pos = header.blocks_start;
+        for b in 0..header.num_blocks {
+            let frame = next_frame(&bytes, &mut pos, true).unwrap();
+            verify_frame(&frame, b).unwrap();
+        }
+        assert_eq!(pos, header.blocks_start + header.blocks_len);
+
+        // Parity records chain to the end of the file.
+        let num_groups = header.num_blocks.div_ceil(header.parity_group);
+        for _ in 0..num_groups {
+            let record_len = read_varint(&bytes, &mut pos).unwrap() as usize;
+            pos += record_len;
+        }
+        assert_eq!(pos, bytes.len(), "no trailing bytes after parity");
+
+        // A pristine container reports clean and repairs to itself.
+        let (repaired, report) = crate::repair::repair_container(&bytes).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(repaired, bytes);
+    }
+
+    #[test]
+    fn parity_none_writes_byte_identical_v2() {
+        let geom = BlockGeometry::new(2, 4);
+        let data = patterned_stream(4, geom);
+        let v2 = no_parity(geom, 1e-9).compress(&data);
+        let v3 = Compressor::new(geom, 1e-9).compress(&data);
+        assert!(v3.len() > v2.len(), "parity section must add bytes");
+        // Same payloads, same framing — v3 is v2 plus header varints and
+        // the parity section.
+        let back2 = decompress(&v2).unwrap();
+        let back3 = decompress(&v3).unwrap();
+        assert_eq!(back2, back3);
+    }
+
+    #[test]
     fn v1_containers_still_decode() {
         let geom = BlockGeometry::from_dims([6, 6, 6, 6]);
-        let c = Compressor::new(geom, 1e-10);
+        let c = no_parity(geom, 1e-10);
         let data = patterned_stream(4, geom);
         let v2 = c.compress(&data);
         let v1 = strip_to_v1(&v2);
@@ -979,9 +1287,11 @@ mod tests {
 
     #[test]
     fn lossy_decode_recovers_undamaged_blocks() {
+        // Parity-free container: damage is detected and skipped, not
+        // repaired — the pre-v3 contract.
         let geom = BlockGeometry::new(2, 4);
         let bs = geom.block_size();
-        let c = Compressor::new(geom, 1e-9);
+        let c = no_parity(geom, 1e-9);
         let data = patterned_stream(6, geom);
         let bytes = c.compress(&data);
         let clean = decompress(&bytes).unwrap();
@@ -1023,8 +1333,10 @@ mod tests {
 
     #[test]
     fn lossy_decode_reports_framing_loss() {
+        // Parity-free container: a damaged length varint loses every
+        // later block — the pre-v3 contract v3 parity exists to fix.
         let geom = BlockGeometry::new(2, 4);
-        let c = Compressor::new(geom, 1e-9);
+        let c = no_parity(geom, 1e-9);
         let bytes = c.compress(&patterned_stream(5, geom));
         let header = parse_header(&bytes).unwrap();
         // Corrupt block 1's length varint to an absurd value: framing for
@@ -1040,6 +1352,130 @@ mod tests {
         assert_eq!(lossy.damaged(), 4);
         for o in &lossy.outcomes[1..] {
             assert!(!o.is_ok());
+        }
+    }
+
+    #[test]
+    fn lossy_decode_repairs_payload_damage() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let data = patterned_stream(6, geom);
+        let bytes = c.compress(&data);
+        let clean = decompress(&bytes).unwrap();
+
+        // Flip a bit in block 2's payload.
+        let header = parse_header(&bytes).unwrap();
+        let mut pos = header.blocks_start;
+        let mut flip_at = 0;
+        for b in 0..header.num_blocks {
+            let frame = next_frame(&bytes, &mut pos, true).unwrap();
+            if b == 2 {
+                flip_at = pos - frame.payload.len() + 1;
+            }
+        }
+        let mut damaged = bytes.clone();
+        damaged[flip_at] ^= 0x80;
+
+        // Strict decode still refuses silently-corrupted input...
+        assert!(decompress(&damaged).is_err());
+        // ...but the lossy path repairs it transparently and says so.
+        let lossy = decompress_lossy(&damaged).unwrap();
+        assert!(lossy.is_clean(), "repair should recover the block");
+        assert_eq!(lossy.repaired(), 1);
+        assert!(lossy.outcomes[2].repaired);
+        assert_eq!(lossy.values, clean);
+    }
+
+    #[test]
+    fn lossy_decode_repairs_framing_damage() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let data = patterned_stream(5, geom);
+        let bytes = c.compress(&data);
+        let clean = decompress(&bytes).unwrap();
+        let header = parse_header(&bytes).unwrap();
+        // Corrupt block 1's length varint — pre-v3 this lost blocks 1..;
+        // the parity metadata's duplicate lengths re-anchor the frames.
+        let mut pos = header.blocks_start;
+        let _ = next_frame(&bytes, &mut pos, true).unwrap();
+        let mut damaged = bytes.clone();
+        damaged[pos] = 0xff;
+        damaged[pos + 1] = 0xff;
+
+        let lossy = decompress_lossy(&damaged).unwrap();
+        assert!(lossy.is_clean(), "framing damage should repair: {:?}",
+            lossy.outcomes.iter().filter(|o| !o.is_ok()).collect::<Vec<_>>());
+        assert_eq!(lossy.values, clean);
+    }
+
+    #[test]
+    fn repair_is_byte_identical_for_every_single_byte_corruption() {
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let bytes = c.compress(&patterned_stream(10, geom));
+        let header = parse_header(&bytes).unwrap();
+        // Every byte past the header (the header itself carries no
+        // parity): payloads, CRCs, length varints, parity metadata,
+        // shard checksums, shard bytes.
+        for at in header.blocks_start..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[at] ^= 0x40;
+            if damaged[at] == bytes[at] {
+                continue;
+            }
+            let (repaired, report) = crate::repair::repair_container(&damaged).unwrap();
+            assert!(report.is_fully_repaired(), "byte {at}: {report:?}");
+            assert_eq!(repaired, bytes, "byte {at} did not repair byte-identically");
+        }
+    }
+
+    #[test]
+    fn damage_beyond_parity_budget_degrades_to_skip() {
+        let geom = BlockGeometry::new(2, 4);
+        let bs = geom.block_size();
+        let c = Compressor::new(geom, 1e-9);
+        let data = patterned_stream(6, geom); // one group of 6, 2 shards
+        let bytes = c.compress(&data);
+        let clean = decompress(&bytes).unwrap();
+        let header = parse_header(&bytes).unwrap();
+        // Damage 3 payloads (> 2 shards): unrepairable, but lossy decode
+        // still recovers the other 3 blocks.
+        let mut damaged = bytes.clone();
+        let mut pos = header.blocks_start;
+        for b in 0..header.num_blocks {
+            let frame = next_frame(&bytes, &mut pos, true).unwrap();
+            if b < 3 {
+                damaged[pos - frame.payload.len() / 2] ^= 0x08;
+            }
+        }
+        let (_, report) = crate::repair::repair_container(&damaged).unwrap();
+        assert_eq!(report.unrepairable_blocks, vec![0, 1, 2]);
+        assert!(!report.is_fully_repaired());
+
+        let lossy = decompress_lossy(&damaged).unwrap();
+        assert_eq!(lossy.damaged(), 3);
+        for (i, (a, b)) in lossy.values.iter().zip(&clean).enumerate() {
+            if i < 3 * bs {
+                assert_eq!(*a, 0.0, "unrepairable block must zero-fill at {i}");
+            } else {
+                assert_eq!(a, b, "undamaged value differs at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_handles_torn_parity_tail() {
+        // A torn write that loses part of the parity section: the data is
+        // intact, so repair regenerates the full section byte-identically.
+        let geom = BlockGeometry::new(2, 4);
+        let c = Compressor::new(geom, 1e-9);
+        let bytes = c.compress(&patterned_stream(9, geom));
+        let header = parse_header(&bytes).unwrap();
+        let parity_start = header.blocks_start + header.blocks_len;
+        for cut in [parity_start, parity_start + 3, bytes.len() - 1] {
+            let (repaired, report) = crate::repair::repair_container(&bytes[..cut]).unwrap();
+            assert!(report.is_fully_repaired(), "cut={cut}: {report:?}");
+            assert_eq!(repaired, bytes, "cut={cut}");
         }
     }
 

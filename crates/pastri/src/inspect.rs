@@ -15,7 +15,8 @@ use crate::metrics::ScalingMetric;
 #[derive(Debug, Clone)]
 pub struct ContainerInfo {
     /// Container format version (1 = legacy checksum-free, 2 = CRC32
-    /// over header and each block payload).
+    /// over header and each block payload, 3 = v2 plus a Reed–Solomon
+    /// parity section for self-healing).
     pub version: u8,
     /// Absolute error bound the stream was compressed with.
     pub error_bound: f64,
@@ -36,6 +37,13 @@ pub struct ContainerInfo {
     pub kind_counts: [u64; 5],
     /// Sum of per-block payload bytes (container minus framing).
     pub payload_bytes: u64,
+    /// Blocks per parity group (v3; 0 when the container carries no
+    /// parity).
+    pub parity_group: usize,
+    /// Reed–Solomon erasure shards per parity group (v3; 0 otherwise).
+    pub parity_shards: usize,
+    /// Bytes of the parity section, records included (v3; 0 otherwise).
+    pub parity_bytes: u64,
 }
 
 impl ContainerInfo {
@@ -70,7 +78,7 @@ pub fn inspect_prefix(bytes: &[u8]) -> Result<(ContainerInfo, usize), Decompress
     }
     pos += 4;
     let version = *bytes.get(pos).ok_or(DecompressError::Truncated)?;
-    if version != 1 && version != 2 {
+    if version != 1 && version != 2 && version != 3 {
         return Err(DecompressError::BadVersion(version));
     }
     let checksummed = version >= 2;
@@ -96,6 +104,18 @@ pub fn inspect_prefix(bytes: &[u8]) -> Result<(ContainerInfo, usize), Decompress
     let num_blocks = read_varint(bytes, &mut pos)? as usize;
     if num_blocks > bytes.len() {
         return Err(DecompressError::corrupt("block count exceeds container size"));
+    }
+    let (mut parity_group, mut parity_shards) = (0usize, 0usize);
+    if version >= 3 {
+        parity_group = read_varint(bytes, &mut pos)? as usize;
+        parity_shards = read_varint(bytes, &mut pos)? as usize;
+        let _blocks_len = read_varint(bytes, &mut pos)?;
+        if parity_group == 0
+            || parity_shards == 0
+            || parity_group.saturating_add(parity_shards) > 255
+        {
+            return Err(DecompressError::corrupt("implausible parity geometry"));
+        }
     }
     let geometry = BlockGeometry::new(num_sb, sb_size);
     if checksummed {
@@ -127,6 +147,20 @@ pub fn inspect_prefix(bytes: &[u8]) -> Result<(ContainerInfo, usize), Decompress
         payload_bytes += len as u64;
         pos += len;
     }
+    // v3: the parity section follows the blocks; walk its record chain so
+    // the returned prefix length covers the full container.
+    let mut parity_bytes = 0u64;
+    if version >= 3 && parity_shards > 0 {
+        let parity_start = pos;
+        for _ in 0..num_blocks.div_ceil(parity_group) {
+            let record_len = read_varint(bytes, &mut pos)? as usize;
+            pos = pos
+                .checked_add(record_len)
+                .filter(|&p| p <= bytes.len())
+                .ok_or(DecompressError::Truncated)?;
+        }
+        parity_bytes = (pos - parity_start) as u64;
+    }
     Ok((
         ContainerInfo {
             version,
@@ -139,6 +173,9 @@ pub fn inspect_prefix(bytes: &[u8]) -> Result<(ContainerInfo, usize), Decompress
             tree,
             kind_counts,
             payload_bytes,
+            parity_group,
+            parity_shards,
+            parity_bytes,
         },
         pos,
     ))
@@ -188,7 +225,10 @@ mod tests {
 
         let (bytes, stats) = c.compress_with_stats(&data);
         let info = inspect(&bytes).unwrap();
-        assert_eq!(info.version, 2);
+        assert_eq!(info.version, 3);
+        assert_eq!(info.parity_group, 8);
+        assert_eq!(info.parity_shards, 2);
+        assert!(info.parity_bytes > 0);
         assert_eq!(info.error_bound, 1e-10);
         assert_eq!(info.geometry, geom);
         assert_eq!(info.original_len, data.len());

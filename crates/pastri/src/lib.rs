@@ -61,13 +61,14 @@ mod geometry;
 mod inspect;
 mod metrics;
 mod quant;
+mod repair;
 mod stats;
 pub mod stream;
 
 pub use block::{compress_block, decompress_block, BlockKind};
 pub use container::{
     decompress, decompress_into, decompress_lossy, BlockOutcome, CompressScratch, Compressor,
-    CompressorOptions, EcqRepr, LossyDecode, ScaleRule,
+    CompressorOptions, EcqRepr, LossyDecode, ParityConfig, ScaleRule,
 };
 pub use encoding::EncodingTree;
 pub use error::DecompressError;
@@ -75,4 +76,5 @@ pub use geometry::BlockGeometry;
 pub use inspect::{inspect, inspect_prefix, ContainerInfo};
 pub use metrics::{fit_pattern, PatternFit, ScalingMetric};
 pub use quant::{ecq_bin_max, ecq_bits, Quantizer, ScaleQuantizer};
+pub use repair::{repair_container, RepairReport};
 pub use stats::{BlockTypeStats, CompressionStats, StorageBreakdown};

@@ -633,13 +633,75 @@ pub struct SegmentOutcome {
     pub index: usize,
     /// The recovered values, or why the segment was skipped.
     pub values: Result<Vec<f64>, DecompressError>,
+    /// Damage report when the segment's container needed parity repair:
+    /// `Some` with the blocks reconstructed when repair succeeded (the
+    /// values are then byte-exact), or `Some` with unrepairable blocks
+    /// when damage exceeded the parity budget (`values` is the error).
+    pub repair: Option<crate::repair::RepairReport>,
 }
 
 impl SegmentOutcome {
-    /// Did this segment decode cleanly?
+    /// Did this segment decode cleanly (possibly after parity repair)?
     #[must_use]
     pub fn is_ok(&self) -> bool {
         self.values.is_ok()
+    }
+
+    /// Was this segment damaged on disk but fully reconstructed?
+    #[must_use]
+    pub fn was_repaired(&self) -> bool {
+        self.values.is_ok() && self.repair.is_some()
+    }
+}
+
+/// What one segment's container yielded after giving parity a chance.
+struct RepairedDecode {
+    /// The recovered values, or the original (strict) failure.
+    values: Result<Vec<f64>, DecompressError>,
+    /// Repair report when damage was found.
+    repair: Option<crate::repair::RepairReport>,
+    /// The repaired container bytes when repair fully succeeded —
+    /// canonical, i.e. byte-identical to what the writer emitted.
+    healed: Option<Vec<u8>>,
+}
+
+/// Strict decode with transparent parity repair.
+fn decode_with_repair(container: &[u8]) -> RepairedDecode {
+    match crate::repair::repair_container(container) {
+        Ok((repaired, report)) if report.is_damaged() && report.is_fully_repaired() => {
+            match crate::container::decompress(&repaired) {
+                Ok(v) => RepairedDecode {
+                    values: Ok(v),
+                    repair: Some(report),
+                    healed: Some(repaired),
+                },
+                Err(e) => RepairedDecode {
+                    values: Err(e),
+                    repair: Some(report),
+                    healed: None,
+                },
+            }
+        }
+        Ok((_, report)) if report.is_damaged() => {
+            // Beyond the parity budget: surface the strict decoder's
+            // diagnosis (it pins the first failing block and offset).
+            let err = match crate::container::decompress(container) {
+                Err(e) => e,
+                Ok(_) => DecompressError::corrupt("damage beyond parity budget"),
+            };
+            RepairedDecode {
+                values: Err(err),
+                repair: Some(report),
+                healed: None,
+            }
+        }
+        // Clean, or header-level damage repair cannot help with either
+        // way: strict decode is the answer.
+        _ => RepairedDecode {
+            values: crate::container::decompress(container),
+            repair: None,
+            healed: None,
+        },
     }
 }
 
@@ -686,9 +748,13 @@ impl<R: Read> StreamReader<R> {
         }
     }
 
-    /// Reads the next segment, recovering it if intact and *skipping* it
-    /// (with the reason) if its payload is damaged. Returns `None` at the
-    /// stream terminator.
+    /// Reads the next segment, recovering it if intact, *repairing* it
+    /// from its container's parity section if damaged-but-within-budget,
+    /// and skipping it (with the reason) only when damage exceeds what
+    /// parity can reconstruct. Returns `None` at the stream terminator.
+    ///
+    /// Repaired segments come back `Ok` with byte-exact values and a
+    /// [`SegmentOutcome::repair`] report saying what was reconstructed.
     ///
     /// # Errors
     /// Only for unrecoverable framing loss — a damaged length varint or a
@@ -700,10 +766,14 @@ impl<R: Read> StreamReader<R> {
         let index = self.next_index;
         match self.next_segment_bytes()? {
             None => Ok(None),
-            Some(container) => Ok(Some(SegmentOutcome {
-                index,
-                values: crate::container::decompress(&container),
-            })),
+            Some(container) => {
+                let RepairedDecode { values, repair, .. } = decode_with_repair(&container);
+                Ok(Some(SegmentOutcome {
+                    index,
+                    values,
+                    repair,
+                }))
+            }
         }
     }
 
@@ -738,10 +808,15 @@ impl<R: Read> StreamReader<R> {
 /// Report from [`salvage`]: what survived and what was dropped.
 #[derive(Debug, Clone)]
 pub struct SalvageReport {
-    /// Segments copied verbatim into the output.
+    /// Segments written to the output (verbatim copies plus repairs).
     pub kept: usize,
+    /// Index and repair report of each segment that was damaged but fully
+    /// reconstructed from its container's parity section. These segments
+    /// count toward `kept`; the output holds their canonical
+    /// (as-originally-written) bytes.
+    pub repaired: Vec<(usize, crate::repair::RepairReport)>,
     /// Index and failure reason of each segment dropped for payload
-    /// damage.
+    /// damage beyond the parity budget.
     pub dropped: Vec<(usize, DecompressError)>,
     /// `true` when framing was lost (damaged length varint or truncated
     /// tail) before the terminator: everything after that point was
@@ -750,18 +825,26 @@ pub struct SalvageReport {
 }
 
 impl SalvageReport {
-    /// Did every segment survive?
+    /// Was the source undamaged (nothing dropped, nothing repaired)?
     #[must_use]
     pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && self.repaired.is_empty() && !self.tail_lost
+    }
+
+    /// Did every segment survive into the output (repairs included)?
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
         self.dropped.is_empty() && !self.tail_lost
     }
 }
 
 /// Rewrites a (possibly damaged) stream from `source` into `sink`,
-/// keeping every intact segment and dropping damaged ones. Intact
-/// segments are copied *byte-for-byte* — never re-encoded — so salvage
-/// preserves them bit-exact. The output is always a well-formed,
-/// terminated stream.
+/// keeping every intact segment, *repairing* damaged segments from their
+/// containers' parity sections when the damage is within budget, and
+/// dropping only what neither verification nor parity can save. Intact
+/// segments are copied *byte-for-byte* — never re-encoded; repaired
+/// segments are written as their canonical (originally-written) bytes.
+/// The output is always a well-formed, terminated stream.
 ///
 /// # Errors
 /// `InvalidData` if `source` is not a PaSTRI stream at all (bad magic or
@@ -775,6 +858,7 @@ pub fn salvage<R: Read, W: Write>(source: R, mut sink: W) -> io::Result<SalvageR
     sink.write_all(&[STREAM_VERSION])?;
     let mut report = SalvageReport {
         kept: 0,
+        repaired: Vec::new(),
         dropped: Vec::new(),
         tail_lost: false,
     };
@@ -783,12 +867,22 @@ pub fn salvage<R: Read, W: Write>(source: R, mut sink: W) -> io::Result<SalvageR
         match reader.next_segment_bytes() {
             Ok(None) => break,
             Ok(Some(container)) => {
-                // Only verified-decodable segments are worth keeping.
-                match crate::container::decompress(&container) {
+                // Only verified-decodable segments are worth keeping —
+                // after giving parity a chance to reconstruct them.
+                let RepairedDecode {
+                    values,
+                    repair,
+                    healed,
+                } = decode_with_repair(&container);
+                match values {
                     Ok(_) => {
-                        write_varint(&mut sink, container.len() as u64)?;
-                        sink.write_all(&container)?;
+                        let bytes = healed.as_deref().unwrap_or(&container);
+                        write_varint(&mut sink, bytes.len() as u64)?;
+                        sink.write_all(bytes)?;
                         report.kept += 1;
+                        if let Some(r) = repair {
+                            report.repaired.push((index, r));
+                        }
                     }
                     Err(e) => report.dropped.push((index, e)),
                 }
@@ -866,6 +960,19 @@ mod tests {
         Compressor::new(BlockGeometry::new(4, 9), 1e-9)
     }
 
+    /// Parity-free compressor: for tests pinning the pre-v3
+    /// detect-and-drop semantics.
+    fn compressor_no_parity() -> Compressor {
+        Compressor::with_options(
+            BlockGeometry::new(4, 9),
+            1e-9,
+            crate::container::CompressorOptions {
+                parity: crate::container::ParityConfig::NONE,
+                ..Default::default()
+            },
+        )
+    }
+
     fn patterned(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i % 36) as f64 * 0.3).sin() * 1e-5).collect()
     }
@@ -874,9 +981,16 @@ mod tests {
     /// plus the byte ranges `[start, end)` of each segment's container
     /// payload within the returned buffer.
     fn stream_with_segments(segments: usize) -> (Vec<u8>, Vec<(usize, usize)>) {
+        stream_with_segments_using(segments, compressor())
+    }
+
+    fn stream_with_segments_using(
+        segments: usize,
+        c: Compressor,
+    ) -> (Vec<u8>, Vec<(usize, usize)>) {
         let data = patterned(36 * segments);
         let mut sink = Vec::new();
-        let mut w = StreamWriter::new(&mut sink, compressor(), 1).unwrap();
+        let mut w = StreamWriter::new(&mut sink, c, 1).unwrap();
         w.write_values(&data).unwrap();
         w.finish().unwrap();
         // Re-walk the framing to locate each payload.
@@ -1016,9 +1130,40 @@ mod tests {
     }
 
     #[test]
-    fn skip_reader_recovers_around_damaged_segment() {
+    fn skip_reader_repairs_damaged_segment_in_flight() {
         let segments = 16;
         let (mut bytes, ranges) = stream_with_segments(segments);
+        let clean: Vec<Vec<f64>> = {
+            let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+            std::iter::from_fn(|| r.next_segment().unwrap()).collect()
+        };
+        // Flip one bit inside segment 7's first block payload: repairable
+        // from the container's parity section.
+        let (start, _) = ranges[7];
+        let header = crate::container::parse_header(&bytes[start..]).unwrap();
+        bytes[start + header.blocks_start + 8] ^= 0x04;
+
+        let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+        let mut repaired = Vec::new();
+        while let Some(outcome) = r.next_segment_or_skip().unwrap() {
+            let idx = outcome.index;
+            if outcome.was_repaired() {
+                repaired.push(idx);
+            }
+            assert_eq!(
+                outcome.values.as_ref().expect("every segment recovers"),
+                &clean[idx],
+                "segment {idx} must be bit-exact"
+            );
+        }
+        assert_eq!(repaired, vec![7], "exactly segment 7 needed repair");
+    }
+
+    #[test]
+    fn skip_reader_drops_damage_when_parity_disabled() {
+        let segments = 16;
+        let (mut bytes, ranges) =
+            stream_with_segments_using(segments, compressor_no_parity());
         let clean: Vec<Vec<f64>> = {
             let mut r = StreamReader::new(bytes.as_slice()).unwrap();
             std::iter::from_fn(|| r.next_segment().unwrap()).collect()
@@ -1049,9 +1194,40 @@ mod tests {
     }
 
     #[test]
-    fn salvage_keeps_intact_segments_verbatim() {
+    fn salvage_repairs_damaged_segment_to_original_bytes() {
         let segments = 16;
-        let (mut bytes, ranges) = stream_with_segments(segments);
+        let (bytes, ranges) = stream_with_segments(segments);
+        let mut damaged = bytes.clone();
+        let (start, end) = ranges[3];
+        damaged[(start + end) / 2] ^= 0x40;
+
+        let mut out = Vec::new();
+        let report = salvage(damaged.as_slice(), &mut out).unwrap();
+        assert_eq!(report.kept, segments, "nothing dropped: parity repairs");
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.repaired.len(), 1);
+        assert_eq!(report.repaired[0].0, 3);
+        assert!(!report.tail_lost);
+        assert!(report.is_lossless());
+        assert!(!report.is_clean(), "a repair means the source was damaged");
+
+        // Repair is byte-exact: the salvaged stream equals the stream as
+        // originally written, flip undone.
+        assert_eq!(out, bytes);
+
+        // Salvaging the repaired output again is a clean no-op.
+        let mut out2 = Vec::new();
+        let report2 = salvage(out.as_slice(), &mut out2).unwrap();
+        assert!(report2.is_clean());
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn salvage_keeps_intact_segments_verbatim() {
+        // Parity-free stream: the pre-v3 drop semantics.
+        let segments = 16;
+        let (mut bytes, ranges) =
+            stream_with_segments_using(segments, compressor_no_parity());
         let original_segment_bytes: Vec<Vec<u8>> = ranges
             .iter()
             .map(|&(s, e)| bytes[s..e].to_vec())
@@ -1064,6 +1240,7 @@ mod tests {
         assert_eq!(report.kept, segments - 1);
         assert_eq!(report.dropped.len(), 1);
         assert_eq!(report.dropped[0].0, 3);
+        assert!(report.repaired.is_empty());
         assert!(!report.tail_lost);
         assert!(!report.is_clean());
 

@@ -10,7 +10,7 @@
 use std::path::Path;
 
 use pastri::stream::{salvage, StreamReader, StreamWriter};
-use pastri::{BlockGeometry, Compressor};
+use pastri::{BlockGeometry, Compressor, CompressorOptions, ParityConfig};
 use proptest::prelude::*;
 
 fn golden(name: &str) -> Vec<u8> {
@@ -87,6 +87,19 @@ fn test_compressor() -> Compressor {
     Compressor::new(BlockGeometry::new(4, 9), 1e-10)
 }
 
+/// Parity-free (v2-layout) compressor: pins the detect-and-skip
+/// semantics that predate self-healing containers.
+fn test_compressor_no_parity() -> Compressor {
+    Compressor::with_options(
+        BlockGeometry::new(4, 9),
+        1e-10,
+        CompressorOptions {
+            parity: ParityConfig::NONE,
+            ..Default::default()
+        },
+    )
+}
+
 fn patterned(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| ((i % 71) as f64 * 0.17).sin() * 3e-6)
@@ -97,8 +110,15 @@ fn patterned(n: usize) -> Vec<f64> {
 /// segment's container payload `[start, end)` by re-walking the framing
 /// (varint length + payload, zero terminator).
 fn stream_with_ranges(segments: usize) -> (Vec<u8>, Vec<(usize, usize)>) {
+    stream_with_ranges_using(segments, test_compressor())
+}
+
+fn stream_with_ranges_using(
+    segments: usize,
+    compressor: Compressor,
+) -> (Vec<u8>, Vec<(usize, usize)>) {
     let mut sink = Vec::new();
-    let mut w = StreamWriter::new(&mut sink, test_compressor(), 1).unwrap();
+    let mut w = StreamWriter::new(&mut sink, compressor, 1).unwrap();
     w.write_values(&patterned(BLOCK_VALUES * segments)).unwrap();
     w.finish().unwrap();
 
@@ -140,12 +160,40 @@ fn decode_all_segments(bytes: &[u8]) -> Vec<Vec<f64>> {
     out
 }
 
-/// The PR's headline acceptance scenario: 16 segments, one flipped bit,
-/// 15 segments recovered bit-exact and exactly one reported damaged.
+/// The self-healing headline scenario: 16 segments, one flipped bit, and
+/// *all 16* segments come back bit-exact — the damaged one rebuilt from
+/// its container's parity section, in flight, with the repair reported.
 #[test]
-fn sixteen_segments_one_flip_recovers_fifteen() {
+fn sixteen_segments_one_flip_repairs_in_flight() {
     let segments = 16;
     let (mut bytes, ranges) = stream_with_ranges(segments);
+    let clean = decode_all_segments(&bytes);
+
+    let (start, end) = ranges[7];
+    bytes[(start + end) / 2] ^= 0x08; // deep inside the container
+
+    let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+    let mut ok = 0;
+    let mut repaired = Vec::new();
+    while let Some(outcome) = r.next_segment_or_skip().unwrap() {
+        if outcome.was_repaired() {
+            repaired.push(outcome.index);
+        }
+        let v = outcome.values.expect("all segments recover under parity");
+        assert_eq!(v, clean[outcome.index], "recovered segments are bit-exact");
+        ok += 1;
+    }
+    assert_eq!(ok, segments);
+    assert_eq!(repaired, vec![7], "the flip is found and attributed");
+}
+
+/// Without parity (v2 layout), the same flip is detected and skipped:
+/// 15 of 16 recovered, exactly one reported damaged — the PR 1 contract.
+#[test]
+fn sixteen_segments_one_flip_skips_one_without_parity() {
+    let segments = 16;
+    let (mut bytes, ranges) =
+        stream_with_ranges_using(segments, test_compressor_no_parity());
     let clean = decode_all_segments(&bytes);
 
     let (start, end) = ranges[7];
@@ -168,44 +216,40 @@ fn sixteen_segments_one_flip_recovers_fifteen() {
     assert_eq!(damaged[0].0, 7);
 }
 
-/// ... and `salvage` turns that damaged stream into a valid one holding
-/// the 15 intact segments, verbatim.
+/// ... and `salvage` heals the damaged stream back to its original
+/// bytes: nothing dropped, the repair reported, strict decode clean.
 #[test]
 fn salvage_then_strict_decode_succeeds() {
     let segments = 16;
-    let (mut bytes, ranges) = stream_with_ranges(segments);
-    let clean = decode_all_segments(&bytes);
+    let (original, ranges) = stream_with_ranges(segments);
+    let clean = decode_all_segments(&original);
+    let mut bytes = original.clone();
 
     let (start, end) = ranges[7];
     bytes[(start + end) / 2] ^= 0x08;
 
-    let mut repaired = Vec::new();
-    let report = salvage(bytes.as_slice(), &mut repaired).unwrap();
-    assert_eq!(report.kept, segments - 1);
-    assert_eq!(report.dropped.len(), 1);
-    assert_eq!(report.dropped[0].0, 7);
+    let mut healed = Vec::new();
+    let report = salvage(bytes.as_slice(), &mut healed).unwrap();
+    assert_eq!(report.kept, segments, "parity keeps every segment");
+    assert!(report.dropped.is_empty());
+    assert_eq!(report.repaired.len(), 1);
+    assert_eq!(report.repaired[0].0, 7);
     assert!(!report.tail_lost);
+    assert!(report.is_lossless());
 
-    // The repaired stream decodes *strictly* — no skipping needed — and
-    // yields the 15 intact segments bit-exact.
-    let recovered = decode_all_segments(&repaired);
-    let expected: Vec<&Vec<f64>> = clean
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != 7)
-        .map(|(_, v)| v)
-        .collect();
-    assert_eq!(recovered.len(), expected.len());
-    for (got, want) in recovered.iter().zip(expected) {
-        assert_eq!(&got, &want);
-    }
+    // The healed stream is byte-identical to the stream as originally
+    // written, and decodes *strictly* — no skipping needed.
+    assert_eq!(healed, original);
+    let recovered = decode_all_segments(&healed);
+    assert_eq!(recovered, clean);
 }
 
 proptest! {
-    /// Seeded fault injection: flip `k` random bits inside one segment's
-    /// payload. The damaged segment must be reported (v2 checksums catch
-    /// every corruption), every other segment must come back bit-exact,
-    /// and nothing may panic.
+    /// Seeded fault injection against parity-protected segments: flip `k`
+    /// random bits inside one segment. The damage must stay contained —
+    /// either the segment repairs to bit-exact values or it is skipped
+    /// with the damage attributed to it; every other segment comes back
+    /// bit-exact, and nothing may panic.
     #[test]
     fn flipped_bits_are_contained_to_their_segment(
         seed in any::<u64>(),
@@ -214,6 +258,39 @@ proptest! {
     ) {
         let segments = 8;
         let (mut bytes, ranges) = stream_with_ranges(segments);
+        let clean = decode_all_segments(&bytes);
+
+        let (start, end) = ranges[target];
+        faults::flip_bits(&mut bytes[start..end], 0, k, seed);
+
+        let mut r = StreamReader::new(bytes.as_slice()).unwrap();
+        let mut seen = vec![false; segments];
+        while let Some(outcome) = r.next_segment_or_skip().unwrap() {
+            seen[outcome.index] = true;
+            match outcome.values {
+                Ok(v) => {
+                    // Repaired or untouched either way the values must be
+                    // bit-exact; silent corruption is never acceptable.
+                    prop_assert_eq!(&v, &clean[outcome.index]);
+                }
+                Err(_) => prop_assert_eq!(outcome.index, target,
+                    "damage must be attributed to the flipped segment"),
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every segment must be visited");
+    }
+
+    /// The same property without parity: corruption is *detected* (never
+    /// silently decoded) even when it cannot be repaired.
+    #[test]
+    fn flipped_bits_are_detected_without_parity(
+        seed in any::<u64>(),
+        target in 0usize..8,
+        k in 1usize..12,
+    ) {
+        let segments = 8;
+        let (mut bytes, ranges) =
+            stream_with_ranges_using(segments, test_compressor_no_parity());
         let clean = decode_all_segments(&bytes);
 
         let (start, end) = ranges[target];
