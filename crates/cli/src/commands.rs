@@ -11,6 +11,73 @@ use qchem::molecule::Molecule;
 use crate::args::Args;
 use crate::CliError;
 
+/// Which telemetry exporter `--telemetry` selected.
+#[derive(Debug, Clone, Copy)]
+enum TelemetryFormat {
+    Summary,
+    Json,
+    Chrome,
+}
+
+/// Active telemetry capture for one CLI command: created by
+/// [`telemetry_capture`] (which resets and enables the global recorder),
+/// finished by [`TelemetryCapture::finish`] (snapshot → export →
+/// disable). Dropping without `finish` (error paths) still disables the
+/// recorder so no cross-command state leaks.
+struct TelemetryCapture {
+    format: TelemetryFormat,
+    out_path: Option<String>,
+}
+
+impl Drop for TelemetryCapture {
+    fn drop(&mut self) {
+        telemetry::set_enabled(false);
+    }
+}
+
+/// Parses `--telemetry <summary|json|chrome>` and `--telemetry-out FILE`.
+/// When present, resets and enables the global recorder so the command's
+/// whole run is captured.
+fn telemetry_capture(args: &Args) -> Result<Option<TelemetryCapture>, CliError> {
+    let Some(fmt) = args.get("telemetry") else {
+        return Ok(None);
+    };
+    let format = match fmt {
+        "summary" => TelemetryFormat::Summary,
+        "json" => TelemetryFormat::Json,
+        "chrome" => TelemetryFormat::Chrome,
+        other => {
+            return Err(CliError::new(format!(
+                "--telemetry: unknown format `{other}` (expected summary, json, or chrome)"
+            )))
+        }
+    };
+    let out_path = args.get("telemetry-out").map(str::to_owned);
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    Ok(Some(TelemetryCapture { format, out_path }))
+}
+
+impl TelemetryCapture {
+    /// Disables the recorder, renders the captured snapshot, and writes
+    /// it to `--telemetry-out` (or `out` when no file was given).
+    fn finish(self, out: &mut dyn Write) -> Result<(), CliError> {
+        telemetry::set_enabled(false);
+        let snap = telemetry::snapshot();
+        let text = match self.format {
+            TelemetryFormat::Summary => telemetry::export::summary(&snap),
+            TelemetryFormat::Json => telemetry::export::json_lines(&snap),
+            TelemetryFormat::Chrome => telemetry::export::chrome(&snap),
+        };
+        match &self.out_path {
+            Some(path) => fs::write(path, text)
+                .map_err(|e| CliError::new(format!("writing {path}: {e}")))?,
+            None => out.write_all(text.as_bytes())?,
+        }
+        Ok(())
+    }
+}
+
 /// Reads a raw little-endian f64 file.
 fn read_f64_file(path: &str) -> Result<Vec<f64>, CliError> {
     let bytes = fs::read(path).map_err(|e| CliError::new(format!("reading {path}: {e}")))?;
@@ -75,6 +142,7 @@ fn parse_options(args: &Args) -> Result<CompressorOptions, CliError> {
 /// [--resume]]`.
 pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
     let input = args.positional(0, "in.f64")?;
     let output = args.positional(1, "out.pastri")?;
     let config = parse_config(&args)?;
@@ -172,6 +240,9 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "{input} -> {output} (streamed, durable{resumed}): {total_in} -> {out_len} bytes (ratio {:.2}x, EB {eb:.1e})",
             total_in as f64 / out_len as f64
         )?;
+        if let Some(t) = telem {
+            t.finish(out)?;
+        }
         return Ok(());
     }
     let data = read_f64_file(input)?;
@@ -198,6 +269,9 @@ pub fn compress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         stats.bitrate(),
         eb
     )?;
+    if let Some(t) = telem {
+        t.finish(out)?;
+    }
     Ok(())
 }
 
@@ -219,6 +293,7 @@ fn read_chunk(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<usize, CliEr
 /// `pastri decompress <in.pastri> <out.f64>`.
 pub fn decompress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
     let input = args.positional(0, "in.pastri")?;
     let output = args.positional(1, "out.f64")?;
     let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
@@ -240,6 +315,9 @@ pub fn decompress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> 
         values.len(),
         values.len() * 8
     )?;
+    if let Some(t) = telem {
+        t.finish(out)?;
+    }
     Ok(())
 }
 
@@ -275,6 +353,37 @@ pub fn inspect(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map(|(k, c)| format!("{k} {c}"))
         .collect();
     writeln!(out, "  blocks: {}", census.join(", "))?;
+    // Storage breakdown (paper Sec. V-B), reconstructed from the wire:
+    // raw bits per category plus the percentage of the accounted total.
+    let stats = pastri::container_bit_stats(&bytes)
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let b = stats.breakdown();
+    writeln!(
+        out,
+        "  storage: pattern+scales {} bits ({:.1}%), ecq {} bits ({:.1}%), bookkeeping {} bits ({:.1}%), verbatim {} bits ({:.1}%)",
+        stats.pq_bits + stats.sq_bits,
+        b.pattern_and_scales * 100.0,
+        stats.ecq_bits,
+        b.ecq * 100.0,
+        stats.header_bits + stats.container_bits,
+        b.bookkeeping * 100.0,
+        stats.verbatim_bits,
+        b.verbatim * 100.0,
+    )?;
+    Ok(())
+}
+
+/// `pastri report <telemetry.jsonl>`: re-render a line-oriented JSON
+/// telemetry capture (from `--telemetry json --telemetry-out FILE`) as
+/// the human-readable summary tree.
+pub fn report(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "telemetry.jsonl")?;
+    let text = fs::read_to_string(input)
+        .map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
+    let snap = telemetry::export::from_json_lines(&text)
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    write!(out, "{}", telemetry::export::summary(&snap))?;
     Ok(())
 }
 
@@ -528,10 +637,11 @@ pub fn salvage(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// 2 damage present and not (fully) repaired.
 pub fn scrub(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
     let input = args.positional(0, "file")?;
     let do_repair = args.switch("repair");
     let bytes = fs::read(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
-    if bytes.starts_with(b"ERISTOR") {
+    let result = if bytes.starts_with(b"ERISTOR") {
         scrub_store(input, do_repair, out)
     } else if bytes.starts_with(b"PSTRS") {
         scrub_stream(input, &bytes, do_repair, out)
@@ -541,7 +651,13 @@ pub fn scrub(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Err(CliError::new(format!(
             "{input}: not a PaSTRI container, stream, or store (unknown magic)"
         )))
+    };
+    // Telemetry is exported even when the scrub found damage: the
+    // capture of a failing run is exactly what a postmortem wants.
+    if let Some(t) = telem {
+        t.finish(out)?;
     }
+    result
 }
 
 /// Atomically replaces `path` with `bytes` (temp + fsync + rename).
@@ -555,6 +671,8 @@ fn rewrite_atomic(path: &str, bytes: &[u8]) -> Result<(), CliError> {
 fn quarantine(path: &str, bytes: &[u8], out: &mut dyn Write) -> Result<(), CliError> {
     let qpath = format!("{path}.quarantine");
     rewrite_atomic(&qpath, bytes)?;
+    telemetry::counter_add("scrub.quarantines", 1);
+    telemetry::event("scrub.quarantine");
     writeln!(out, "  damaged original preserved at {qpath}")?;
     Ok(())
 }
@@ -1256,6 +1374,100 @@ mod tests {
         fs::write(&raw, [1u8; 13]).unwrap();
         let err = read_f64_file(&raw).unwrap_err();
         assert!(err.message.contains("multiple of 8"));
+    }
+
+    /// Serializes tests that enable the process-global telemetry
+    /// recorder, so captures don't bleed into each other.
+    static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn telemetry_flags_capture_and_report() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmpdir();
+        let raw = dir.join("tel.f64").to_string_lossy().into_owned();
+        let comp = dir.join("tel.pastri").to_string_lossy().into_owned();
+        let back = dir.join("tel-back.f64").to_string_lossy().into_owned();
+        let jsonl = dir.join("tel.jsonl").to_string_lossy().into_owned();
+        let trace = dir.join("tel.trace.json").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "6", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+
+        // Summary to stdout: the span tree names the compressor stages.
+        let mut sum_out = Vec::new();
+        compress(
+            &sv(&[&raw, &comp, "--config", "dddd", "--telemetry", "summary"]),
+            &mut sum_out,
+        )
+        .unwrap();
+        let text = String::from_utf8(sum_out).unwrap();
+        assert!(text.contains("compress.container"), "{text}");
+        assert!(text.contains("compress.block"), "{text}");
+        assert!(!telemetry::is_enabled(), "capture must disable the recorder");
+
+        // JSON lines to a file, then `pastri report` re-renders them.
+        compress(
+            &sv(&[
+                &raw, &comp, "--config", "dddd", "--telemetry", "json",
+                "--telemetry-out", &jsonl,
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut rep_out = Vec::new();
+        report(&sv(&[&jsonl]), &mut rep_out).unwrap();
+        let text = String::from_utf8(rep_out).unwrap();
+        assert!(text.contains("compress.container"), "{text}");
+
+        // Chrome trace from decompress: structurally valid trace-event JSON.
+        decompress(
+            &sv(&[&comp, &back, "--telemetry", "chrome", "--telemetry-out", &trace]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let trace_text = fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.trim_start().starts_with('['), "{trace_text}");
+        assert!(trace_text.contains("decompress.container"), "{trace_text}");
+
+        // Scrub accepts the flag too (clean file: empty-ish capture is fine).
+        let mut scrub_out = Vec::new();
+        scrub(&sv(&[&comp, "--telemetry", "summary"]), &mut scrub_out).unwrap();
+
+        // Unknown format is a usage error.
+        let err = compress(
+            &sv(&[&raw, &comp, "--config", "dddd", "--telemetry", "xml"]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("telemetry"), "{}", err.message);
+        assert!(!telemetry::is_enabled());
+    }
+
+    #[test]
+    fn inspect_prints_storage_breakdown() {
+        let dir = tmpdir();
+        let raw = dir.join("ib.f64").to_string_lossy().into_owned();
+        let comp = dir.join("ib.pastri").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        generate(
+            &sv(&[&raw, "--config", "dddd", "--blocks", "6", "--model"]),
+            &mut out,
+        )
+        .unwrap();
+        compress(&sv(&[&raw, &comp, "--config", "dddd"]), &mut out).unwrap();
+        let mut ins_out = Vec::new();
+        inspect(&sv(&[&comp]), &mut ins_out).unwrap();
+        let text = String::from_utf8(ins_out).unwrap();
+        assert!(text.contains("storage:"), "{text}");
+        assert!(text.contains("ecq"), "{text}");
+        assert!(text.contains("bits ("), "{text}");
+        assert!(text.contains('%'), "{text}");
+        // The printed raw bits must match the wire-walk accounting.
+        let stats = pastri::container_bit_stats(&fs::read(&comp).unwrap()).unwrap();
+        assert!(text.contains(&format!("ecq {} bits", stats.ecq_bits)), "{text}");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   covers and keeping intact segments
 //! * `gen`        — generate an ERI dataset file (GAMESS stand-in)
 //! * `assess`     — compare an original and a decompressed file
+//! * `report`     — re-render a saved `--telemetry json` capture as the
+//!   human-readable summary tree
 //!
 //! The argument parser is deliberately dependency-free: flags are
 //! `--key value` pairs after the subcommand, positional paths first.
@@ -85,6 +87,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "salvage" => commands::salvage(rest, out),
         "gen" => commands::generate(rest, out),
         "assess" => commands::assess(rest, out),
+        "report" => commands::report(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -113,6 +116,7 @@ USAGE:
   pastri gen        <out.f64> --molecule benzene --config (dd|dd)
                     [--blocks 100] [--seed 0] [--cluster 1] [--model]
   pastri assess     <original.f64> <decompressed.f64>
+  pastri report     <telemetry.jsonl>
 
 FLAGS:
   --config   BF configuration, e.g. '(dd|dd)', '(ff|ff)', 'fdff'
@@ -122,6 +126,14 @@ FLAGS:
   --molecule benzene | glutamine | alanine
   --cluster  tile N copies at 4.5 A (production-scale far-field mix)
   --model    use the fast Eq.-3 far-field model generator
+
+TELEMETRY (compress, decompress, scrub):
+  --telemetry <summary|json|chrome>  capture spans, counters, and stage
+             timings for the run: `summary` prints a human-readable tree,
+             `json` emits one JSON object per line (re-render later with
+             `pastri report`), `chrome` emits a Chrome trace-event file
+             (load in chrome://tracing or Perfetto).
+  --telemetry-out FILE  write the capture to FILE instead of stdout.
 
 DURABILITY (streamed compression):
   --stream writes durably: segments are fsync'd in batches and sealed by

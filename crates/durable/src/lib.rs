@@ -51,8 +51,22 @@ impl SyncWrite for File {
         // sync_all (fsync, not fdatasync) so file-size metadata from
         // appends is durable too — a checkpoint must never describe
         // bytes the filesystem could forget.
-        self.sync_all()
+        timed_fsync(|| self.sync_all())
     }
+}
+
+/// Runs one fsync-like operation, recording its count and latency — the
+/// single choke point every file sync in the repo funnels through, so
+/// `durable.fsyncs` / `durable.fsync_us` see them all.
+fn timed_fsync(f: impl FnOnce() -> io::Result<()>) -> io::Result<()> {
+    if !telemetry::is_enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let result = f();
+    telemetry::counter_add("durable.fsyncs", 1);
+    telemetry::observe_us("durable.fsync_us", start.elapsed().as_micros() as u64);
+    result
 }
 
 impl SyncWrite for Vec<u8> {
@@ -78,7 +92,7 @@ impl<W: SyncWrite + ?Sized> SyncWrite for &mut W {
 /// best-effort no-op (POSIX systems support it; the repo targets Linux).
 pub fn fsync_dir(dir: &Path) -> io::Result<()> {
     match File::open(dir) {
-        Ok(d) => d.sync_all(),
+        Ok(d) => timed_fsync(|| d.sync_all()),
         // Missing or unopenable parent (e.g. rename into cwd ""): the
         // rename itself already succeeded, so don't fail the commit.
         Err(_) => Ok(()),
@@ -140,7 +154,7 @@ impl AtomicFile {
     /// the directory. After this returns, the new content is durable.
     pub fn commit(mut self) -> io::Result<()> {
         let file = self.file.take().expect("commit consumes the file");
-        file.sync_all()?;
+        timed_fsync(|| file.sync_all())?;
         drop(file);
         std::fs::rename(&self.tmp_path, &self.dest)?;
         fsync_dir(&parent_of(&self.dest))
@@ -257,6 +271,7 @@ impl<J: SyncWrite> JournalWriter<J> {
             self.header_written = true;
         }
         self.sink.write_all(&cp.encode())?;
+        telemetry::counter_add("durable.checkpoints", 1);
         self.sink.sync()
     }
 

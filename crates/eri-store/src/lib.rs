@@ -271,8 +271,10 @@ fn read_exact_retry<R: Read>(
                 }
                 retries += 1;
                 stats.transient_retries += 1;
+                telemetry::counter_add("store.transient_retries", 1);
                 if !backoff.is_zero() {
                     stats.backoff_micros += backoff.as_micros() as u64;
+                    telemetry::counter_add("store.backoff_us", backoff.as_micros() as u64);
                     std::thread::sleep(backoff);
                 }
                 backoff = (backoff * 2).min(policy.max_backoff);
@@ -857,10 +859,12 @@ impl<R: Read + Seek> StoreReader<R> {
             Err(e @ StoreError::Checksum { .. }) => match self.try_repair_block(i) {
                 Some(repaired) => {
                     self.stats.blocks_repaired += 1;
+                    telemetry::counter_add("store.blocks_repaired", 1);
                     repaired
                 }
                 None => {
                     self.stats.blocks_dropped += 1;
+                    telemetry::counter_add("store.blocks_dropped", 1);
                     return Err(e);
                 }
             },
@@ -870,6 +874,7 @@ impl<R: Read + Seek> StoreReader<R> {
             Ok(values) => Ok(values),
             Err(e) => {
                 self.stats.blocks_dropped += 1;
+                telemetry::counter_add("store.blocks_dropped", 1);
                 Err(e.into())
             }
         }

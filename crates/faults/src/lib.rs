@@ -150,6 +150,7 @@ impl<R: Read> Read for FaultyReader<R> {
         for (i, byte) in buf[..n].iter_mut().enumerate() {
             if let Some(mask) = self.flip_for_offset(self.pos + i as u64) {
                 *byte ^= mask;
+                telemetry::counter_add("faults.bit_flips", 1);
             }
         }
         self.pos += n as u64;
@@ -185,6 +186,7 @@ pub fn flip_bits(bytes: &mut [u8], from: usize, k: usize, seed: u64) -> Vec<(usi
         bytes[byte] ^= 1 << bit;
         flipped.push((byte, bit));
     }
+    telemetry::counter_add("faults.bit_flips", flipped.len() as u64);
     flipped
 }
 
@@ -250,6 +252,7 @@ impl BitFlipper {
         for &(byte, bit) in &self.plan {
             bytes[usize::try_from(byte).expect("offset fits usize")] ^= 1 << bit;
         }
+        telemetry::counter_add("faults.bit_flips", self.plan.len() as u64);
     }
 
     /// Applies every planned flip to the file at `path`, in place.
@@ -291,11 +294,16 @@ impl BitFlipper {
     fn apply_window(&self, buf: &mut [u8], pos: u64) {
         let end = pos + buf.len() as u64;
         let start = self.plan.partition_point(|&(b, _)| b < pos);
+        let mut landed = 0u64;
         for &(byte, bit) in &self.plan[start..] {
             if byte >= end {
                 break;
             }
             buf[(byte - pos) as usize] ^= 1 << bit;
+            landed += 1;
+        }
+        if landed > 0 {
+            telemetry::counter_add("faults.bit_flips", landed);
         }
     }
 }
@@ -486,6 +494,9 @@ impl<W> FaultyWriter<W> {
     fn die(&mut self) -> io::Error {
         if !self.dead {
             self.dead = true;
+            telemetry::counter_add("faults.crashes_injected", 1);
+            telemetry::counter_add("faults.crash_budget_exhausted", 1);
+            telemetry::event("faults.crash_budget_exhausted");
             if let Some(hook) = self.abort_hook.as_mut() {
                 hook();
             }

@@ -52,7 +52,7 @@ pub enum BlockKind {
 }
 
 impl BlockKind {
-    fn from_bits(v: u64) -> Option<Self> {
+    pub(crate) fn from_bits(v: u64) -> Option<Self> {
         Some(match v {
             0 => BlockKind::AllZero,
             1 => BlockKind::PatternOnly,
@@ -113,10 +113,15 @@ fn compress_block_inner(
     }
 
     // Pattern fit + quantization. Overflow anywhere -> verbatim.
-    let fit = fit_pattern(metric, geom, block);
+    let fit = {
+        let _stage = telemetry::span("compress.pattern_select");
+        fit_pattern(metric, geom, block)
+    };
     let sbs = geom.subblock_size;
     let pattern = &block[fit.pattern_sb * sbs..(fit.pattern_sb + 1) * sbs];
+    let quantize_stage = telemetry::span("compress.quantize");
     let Some((pq, pb)) = quant.quantize_pattern(pattern) else {
+        drop(quantize_stage);
         write_verbatim(block, w, &mut stats);
         return BlockKind::Verbatim;
     };
@@ -132,7 +137,9 @@ fn compress_block_inner(
     let sq: Vec<i64> = fit.scales.iter().map(|&s| sq_quant.quantize(s)).collect();
     let shat: Vec<f64> = sq.iter().map(|&q| sq_quant.dequantize(q)).collect();
     let phat: Vec<f64> = pq.iter().map(|&q| quant.dequantize(q)).collect();
+    drop(quantize_stage);
 
+    let _ecq_stage = telemetry::span("compress.ecq_encode");
     // ECQ with verify-and-nudge: the residual is quantized against the
     // *reconstructed* prediction, then the decoded value is checked
     // point-by-point; any floating-point corner case gets the code nudged

@@ -256,6 +256,7 @@ impl Compressor {
         data: &[f64],
         stats: Option<&mut CompressionStats>,
     ) -> (Vec<u8>, ()) {
+        let _span = telemetry::span("compress.container");
         let bs = self.geometry.block_size();
         let num_blocks = self.geometry.blocks_for_len(data.len());
 
@@ -263,6 +264,7 @@ impl Compressor {
         let results: Vec<(Vec<u8>, CompressionStats)> = (0..num_blocks)
             .into_par_iter()
             .map(|b| {
+                let _block_span = telemetry::span("compress.block");
                 let start = b * bs;
                 let end = ((b + 1) * bs).min(data.len());
                 let mut local = CompressionStats::default();
@@ -295,7 +297,9 @@ impl Compressor {
         // Assemble the container.
         let mut out = Vec::with_capacity(32 + results.iter().map(|(p, _)| p.len() + 9).sum::<usize>());
         let payloads: Vec<&[u8]> = results.iter().map(|(p, _)| p.as_slice()).collect();
+        let assemble_span = telemetry::span("container.assemble");
         let overhead = self.assemble_container(&mut out, data.len(), &payloads);
+        drop(assemble_span);
         if let Some(s) = stats {
             for (_, local) in &results {
                 s.merge(local);
@@ -367,6 +371,7 @@ impl Compressor {
         out: &mut Vec<u8>,
         scratch: &mut CompressScratch,
     ) {
+        let _span = telemetry::span("compress.container");
         let bs = self.geometry.block_size();
         let num_blocks = self.geometry.blocks_for_len(data.len());
         // Payloads are buffered (concatenated, with recorded lengths)
@@ -377,6 +382,7 @@ impl Compressor {
         scratch.payloads.clear();
         scratch.lens.clear();
         for b in 0..num_blocks {
+            let _block_span = telemetry::span("compress.block");
             let start = b * bs;
             let end = ((b + 1) * bs).min(data.len());
             scratch.writer.clear();
@@ -412,6 +418,7 @@ impl Compressor {
             payloads.push(&scratch.payloads[at..at + len]);
             at += len;
         }
+        let _assemble_span = telemetry::span("container.assemble");
         self.assemble_container(out, data.len(), &payloads);
     }
 
@@ -695,6 +702,7 @@ pub(crate) fn verify_frame(frame: &BlockFrame<'_>, block: usize) -> Result<(), D
 /// carries that block's index and byte offset. Use [`decompress_lossy`]
 /// to recover everything around the damage instead.
 pub fn decompress_into(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), DecompressError> {
+    let _span = telemetry::span("decompress.container");
     let header = parse_header(bytes)?;
     let geometry = header.geometry;
     let bs = geometry.block_size();

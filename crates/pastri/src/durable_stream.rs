@@ -171,6 +171,7 @@ impl<W: SyncWrite, J: SyncWrite> DurableStreamWriter<W, J> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let _span = telemetry::span("durable.commit_batch");
         self.ensure_header()?;
         let batch = std::mem::take(&mut self.pending);
         let compressor = self.compressor;
@@ -295,6 +296,9 @@ impl DurableFileWriter {
         }
         // Discard everything past the committed prefix (uncommitted
         // tail, possibly torn by the crash).
+        if on_disk > cp.bytes || journal_bytes.len() > valid_len {
+            telemetry::counter_add("durable.resume_truncations", 1);
+        }
         file.set_len(cp.bytes)?;
         file.sync_all()?;
         file.seek(SeekFrom::Start(cp.bytes))?;

@@ -73,7 +73,7 @@ pub use container::{
 pub use encoding::EncodingTree;
 pub use error::DecompressError;
 pub use geometry::BlockGeometry;
-pub use inspect::{inspect, inspect_prefix, ContainerInfo};
+pub use inspect::{container_bit_stats, inspect, inspect_prefix, ContainerInfo};
 pub use metrics::{fit_pattern, PatternFit, ScalingMetric};
 pub use quant::{ecq_bin_max, ecq_bits, Quantizer, ScaleQuantizer};
 pub use repair::{repair_container, RepairReport};

@@ -128,6 +128,7 @@ pub fn repair_container(bytes: &[u8]) -> Result<(Vec<u8>, RepairReport), Decompr
 /// [`repair_container`] with a pre-parsed header (shared with
 /// `decompress_lossy`, which has already paid for the parse).
 pub(crate) fn repair_with_header(bytes: &[u8], header: &Header) -> (Vec<u8>, RepairReport) {
+    let _span = telemetry::span("repair.container");
     let mut report = RepairReport {
         total_blocks: header.num_blocks,
         ..RepairReport::default()
@@ -149,6 +150,7 @@ pub(crate) fn repair_with_header(bytes: &[u8], header: &Header) -> (Vec<u8>, Rep
                 }
             }
         }
+        publish_report(&report);
         return (bytes.to_vec(), report);
     }
 
@@ -504,5 +506,21 @@ fn emit(
     report.repaired_blocks.dedup();
     report.unrepairable_blocks.sort_unstable();
     report.unrepairable_blocks.dedup();
+    publish_report(report);
     (out, std::mem::take(report))
+}
+
+/// Mirrors a [`RepairReport`]'s tallies into the telemetry counters —
+/// the unified observability surface for repair activity (the report
+/// stays the programmatic API).
+fn publish_report(report: &RepairReport) {
+    telemetry::counter_add("repair.blocks_repaired", report.repaired_blocks.len() as u64);
+    telemetry::counter_add(
+        "repair.blocks_unrepairable",
+        report.unrepairable_blocks.len() as u64,
+    );
+    telemetry::counter_add(
+        "repair.parity_groups_rebuilt",
+        report.parity_groups_rebuilt.len() as u64,
+    );
 }

@@ -9,7 +9,7 @@ use crate::block::BlockKind;
 pub const MAX_ECQ_BIN: usize = 56;
 
 /// Aggregate statistics over a compression run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressionStats {
     /// Input bytes (original doubles, excluding padding).
     pub original_bytes: u64,

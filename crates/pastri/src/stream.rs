@@ -334,6 +334,7 @@ impl<W: Write> ParallelStreamWriter<W> {
                     loop {
                         // Hold the receiver lock only for the pickup, not
                         // the compression.
+                        let idle_from = telemetry::is_enabled().then(Instant::now);
                         let job = {
                             let guard = match job_rx.lock() {
                                 Ok(g) => g,
@@ -343,8 +344,15 @@ impl<W: Write> ParallelStreamWriter<W> {
                             };
                             guard.recv()
                         };
+                        if let Some(t) = idle_from {
+                            telemetry::counter_add(
+                                "stream.worker_idle_ns",
+                                t.elapsed().as_nanos() as u64,
+                            );
+                        }
                         match job {
                             Ok(Job::Segment(seq, values)) => {
+                                let busy_from = telemetry::is_enabled().then(Instant::now);
                                 let mut container = Vec::new();
                                 // Byte-identical to `Compressor::compress`,
                                 // which is what makes parallel == sequential
@@ -354,6 +362,12 @@ impl<W: Write> ParallelStreamWriter<W> {
                                     &mut container,
                                     &mut scratch,
                                 );
+                                if let Some(t) = busy_from {
+                                    telemetry::counter_add(
+                                        "stream.worker_busy_ns",
+                                        t.elapsed().as_nanos() as u64,
+                                    );
+                                }
                                 if done_tx.send((seq, container)).is_err() {
                                     break;
                                 }
@@ -497,14 +511,17 @@ impl<W: Write> ParallelStreamWriter<W> {
     fn submit(&mut self, values: Vec<f64>) -> io::Result<()> {
         let seq = self.next_seq;
         self.next_seq += 1;
+        telemetry::counter_add("stream.jobs_submitted", 1);
         if self.degraded.is_some() || self.job_tx.is_none() {
             // Crew already lost: compress inline.
+            telemetry::counter_add("stream.inline_fallbacks", 1);
             let container = self.compressor.compress(&values);
             self.reorder.insert(seq, container);
             return self.write_ready();
         }
         let values = Arc::new(values);
         self.in_flight.insert(seq, Arc::clone(&values));
+        telemetry::gauge_add("stream.queue_depth", 1);
         let mut job = Job::Segment(seq, values);
         let mut deadline = Instant::now() + self.job_timeout;
         loop {
@@ -520,7 +537,15 @@ impl<W: Write> ParallelStreamWriter<W> {
                     job = j;
                     // Queue full: wait for a result to free a slot. Any
                     // progress resets the watchdog.
-                    match self.done_rx.recv_timeout(WATCHDOG_TICK) {
+                    let stall_from = telemetry::is_enabled().then(Instant::now);
+                    let waited = self.done_rx.recv_timeout(WATCHDOG_TICK);
+                    if let Some(t) = stall_from {
+                        telemetry::counter_add(
+                            "stream.commit_stall_ns",
+                            t.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    match waited {
                         Ok(done) => {
                             self.record_done(done);
                             deadline = Instant::now() + self.job_timeout;
@@ -548,7 +573,9 @@ impl<W: Write> ParallelStreamWriter<W> {
     /// Books a finished segment: it is no longer in flight and waits in
     /// the reorder buffer for its turn.
     fn record_done(&mut self, (seq, container): SegmentDone) {
-        self.in_flight.remove(&seq);
+        if self.in_flight.remove(&seq).is_some() {
+            telemetry::gauge_add("stream.queue_depth", -1);
+        }
         self.reorder.insert(seq, container);
     }
 
@@ -559,6 +586,7 @@ impl<W: Write> ParallelStreamWriter<W> {
             write_varint(&mut self.sink, container.len() as u64)?;
             self.sink.write_all(&container)?;
             self.next_write += 1;
+            telemetry::counter_add("stream.segments_written", 1);
         }
         Ok(())
     }
@@ -583,6 +611,10 @@ impl<W: Write> ParallelStreamWriter<W> {
     /// byte-identically, and records the failure for the
     /// [`WriteReport`].
     fn handle_crew_loss(&mut self, timed_out: bool) -> io::Result<()> {
+        telemetry::event("stream.crew_loss");
+        if timed_out {
+            telemetry::counter_add("stream.watchdog_fires", 1);
+        }
         // Close the queue so any surviving workers drain out and exit.
         drop(self.job_tx.take());
         if timed_out {
@@ -617,6 +649,8 @@ impl<W: Write> ParallelStreamWriter<W> {
         // `compress` is byte-identical to the workers' path, so the
         // stream comes out exactly as an undisturbed run would have.
         let owed = std::mem::take(&mut self.in_flight);
+        telemetry::gauge_add("stream.queue_depth", -(owed.len() as i64));
+        telemetry::counter_add("stream.inline_fallbacks", owed.len() as u64);
         for (seq, values) in owed {
             let container = self.compressor.compress(&values);
             self.reorder.insert(seq, container);
@@ -670,11 +704,14 @@ fn decode_with_repair(container: &[u8]) -> RepairedDecode {
     match crate::repair::repair_container(container) {
         Ok((repaired, report)) if report.is_damaged() && report.is_fully_repaired() => {
             match crate::container::decompress(&repaired) {
-                Ok(v) => RepairedDecode {
-                    values: Ok(v),
-                    repair: Some(report),
-                    healed: Some(repaired),
-                },
+                Ok(v) => {
+                    telemetry::counter_add("repair.on_read_hits", 1);
+                    RepairedDecode {
+                        values: Ok(v),
+                        repair: Some(report),
+                        healed: Some(repaired),
+                    }
+                }
                 Err(e) => RepairedDecode {
                     values: Err(e),
                     repair: Some(report),
