@@ -1,0 +1,82 @@
+//! Fixed-seed soak storm for the perf/robustness trajectory, emitted as
+//! `BENCH_soak.json`.
+//!
+//! Runs the `soak` crate's deterministic fault-storm harness — seeded
+//! bit-flip SDC, torn stream writes, crash/resume cycles, and transient
+//! read errors over a mixed read/write/scrub workload — at a fixed seed
+//! so the op/fault tallies in the emitted JSON are bit-identical from
+//! run to run and machine to machine. The `slo` / `timing` sections
+//! carry the run-varying numbers (read p99, wall clock, memory
+//! high-water) the trajectory tracks.
+//!
+//! `PASTRI_BENCH_SCALE` multiplies the op budget and per-store block
+//! count like the other benches. Exits 2 if the storm loses data or an
+//! SLO gate fails, so CI can gate on it exactly like `pastri soak`.
+
+use bench::{bench_scale, print_header, print_row};
+
+fn main() {
+    let scale = bench_scale();
+    let dir = std::env::temp_dir().join(format!("pastri-bench-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = soak::SoakConfig::storm(&dir, 42);
+    cfg.ops = ((cfg.ops as f64) * scale).round().max(20.0) as usize;
+    cfg.scale = ((cfg.scale as f64) * scale).round().max(4.0) as usize;
+    // Generous gates: regressions show up in the recorded numbers long
+    // before they trip these, but a collapse (repair path broken, reads
+    // off a cliff) fails the bench outright.
+    cfg.slo = soak::SloGates {
+        read_p99_us: Some(2_000_000),
+        min_repair_success: Some(0.5),
+        max_quarantined: Some(cfg.ops as u64),
+        max_resident_values: None,
+    };
+
+    println!(
+        "soak storm — seed {}, {} ops across {} stores, {} blocks/store\n",
+        cfg.seed, cfg.ops, cfg.stores, cfg.scale
+    );
+    let report = soak::run(&cfg).expect("soak storm must complete");
+    let t = &report.tallies;
+
+    let widths = [28usize, 12];
+    print_header(&["tally", "count"], &widths);
+    for (name, v) in [
+        ("ops executed", t.ops_executed),
+        ("block reads", t.block_reads),
+        ("bit-flip events", t.bit_flip_events),
+        ("torn streams", t.torn_streams),
+        ("crashes (all resumed)", t.crashes),
+        ("transient retries", t.transient_retries),
+        ("repaired on read", t.read_repaired),
+        ("repaired by scrub", t.scrub_repaired),
+        ("quarantined", t.quarantined),
+    ] {
+        print_row(&[name.to_string(), v.to_string()], &widths);
+    }
+    println!();
+    for g in &report.gates {
+        println!(
+            "gate {:<24} threshold {:>12} actual {:>12}  {}",
+            g.gate,
+            g.threshold,
+            g.actual.map_or_else(|| "n/a".to_string(), |v| format!("{v}")),
+            if g.pass { "PASS" } else { "FAIL" }
+        );
+    }
+    println!(
+        "\nread p99 {} us, {:.2}s wall, resident high-water {} values",
+        report.read_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        report.wall.as_secs_f64(),
+        report.resident_high_water,
+    );
+
+    std::fs::write("BENCH_soak.json", report.to_json(&cfg)).expect("writing BENCH_soak.json");
+    println!("wrote BENCH_soak.json");
+
+    if !report.passed() {
+        eprintln!("soak storm FAILED: data loss or violated SLO gate");
+        std::process::exit(2);
+    }
+}

@@ -60,10 +60,16 @@ fn telemetry_capture(args: &Args) -> Result<Option<TelemetryCapture>, CliError> 
 
 impl TelemetryCapture {
     /// Disables the recorder, renders the captured snapshot, and writes
-    /// it to `--telemetry-out` (or `out` when no file was given).
+    /// it to `--telemetry-out` (or `out` when no file was given). A
+    /// truncated span buffer is warned about on the CLI output either
+    /// way — a capture silently missing records is worse than a noisy
+    /// one.
     fn finish(self, out: &mut dyn Write) -> Result<(), CliError> {
         telemetry::set_enabled(false);
         let snap = telemetry::snapshot();
+        if let Some(warning) = span_drop_warning(&snap) {
+            writeln!(out, "{warning}")?;
+        }
         let text = match self.format {
             TelemetryFormat::Summary => telemetry::export::summary(&snap),
             TelemetryFormat::Json => telemetry::export::json_lines(&snap),
@@ -76,6 +82,22 @@ impl TelemetryCapture {
         }
         Ok(())
     }
+}
+
+/// The CLI warning for a capture whose span buffer overflowed, or `None`
+/// when nothing was dropped. Only the span/event *timeline* is
+/// incomplete past the cap — counters, gauges, and histograms keep
+/// recording, so derived numbers (latency gates, fsync counts) stay
+/// trustworthy.
+fn span_drop_warning(snap: &telemetry::Snapshot) -> Option<String> {
+    (snap.spans_dropped > 0).then(|| {
+        format!(
+            "warning: {} telemetry span/event record(s) dropped at the {}-record buffer cap; \
+             the span timeline is incomplete (counters and histograms remain complete)",
+            snap.spans_dropped,
+            telemetry::SPAN_CAP,
+        )
+    })
 }
 
 /// Reads a raw little-endian f64 file.
@@ -298,13 +320,23 @@ pub fn decompress(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> 
     let output = args.positional(1, "out.f64")?;
     let bytes = fs::read(input).map_err(|e| CliError::new(format!("reading {input}: {e}")))?;
     // Auto-detect the streamed ("PSTRS") vs single-container ("PSTR")
-    // format by magic.
+    // format by magic. A decode failure in a file that carries a PaSTRI
+    // magic is corruption in a recognized artifact (exit 2); anything
+    // else is a format/usage error (exit 1).
+    let recognized = bytes.starts_with(b"PSTR");
+    let decode_err = |msg: String| {
+        if recognized {
+            CliError::corruption(msg)
+        } else {
+            CliError::new(msg)
+        }
+    };
     let values = if bytes.starts_with(b"PSTRS") {
         pastri::stream::StreamReader::new(bytes.as_slice())
             .and_then(pastri::stream::StreamReader::read_to_vec)
-            .map_err(|e| CliError::new(format!("{input}: {e}")))?
+            .map_err(|e| decode_err(format!("{input}: {e}")))?
     } else {
-        pastri::decompress(&bytes).map_err(|e| CliError::new(format!("{input}: {e}")))?
+        pastri::decompress(&bytes).map_err(|e| decode_err(format!("{input}: {e}")))?
     };
     write_f64_file(output, &values)?;
     writeln!(
@@ -666,10 +698,14 @@ fn rewrite_atomic(path: &str, bytes: &[u8]) -> Result<(), CliError> {
         .map_err(|e| CliError::new(format!("rewriting {path}: {e}")))
 }
 
-/// Preserves the damaged original at `<path>.quarantine` so a partial
-/// repair never destroys forensic evidence.
+/// Preserves the damaged original at a fresh quarantine path
+/// (`<path>.quarantine`, `.quarantine.1`, …) so a partial repair never
+/// destroys forensic evidence — and a repeated scrub never clobbers the
+/// evidence from an earlier pass.
 fn quarantine(path: &str, bytes: &[u8], out: &mut dyn Write) -> Result<(), CliError> {
-    let qpath = format!("{path}.quarantine");
+    let qpath = durable::fresh_quarantine_path(std::path::Path::new(path))
+        .to_string_lossy()
+        .into_owned();
     rewrite_atomic(&qpath, bytes)?;
     telemetry::counter_add("scrub.quarantines", 1);
     telemetry::event("scrub.quarantine");
@@ -884,6 +920,149 @@ pub fn assess(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pastri soak <dir> [--seed N] [--ops N] [--stores N] [--scale N] …`:
+/// the deterministic fault-storm soak harness (see the `soak` crate).
+/// Runs a seeded mixed workload across many stores under SDC, crash,
+/// torn-write, and transient-read faults; verifies zero data loss; and
+/// evaluates the configured SLO gates. Writes the machine-readable
+/// report to `--bench-out` (default `BENCH_soak.json`).
+///
+/// Exit codes: 0 all gates hold and no data was lost, 1 I/O or usage
+/// error, 2 unaccounted data loss or a violated SLO gate.
+pub fn soak_cmd(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
+    let dir = args.positional(0, "dir")?;
+
+    let defaults = soak::SoakConfig::storm(std::path::Path::new(dir), 42);
+    let mut cfg = defaults;
+    cfg.seed = args.get_usize("seed", 42)? as u64;
+    cfg.ops = args.get_usize("ops", cfg.ops)?;
+    cfg.stores = args.get_usize("stores", cfg.stores)?;
+    cfg.scale = args.get_usize("scale", cfg.scale)?;
+    cfg.error_bound = args.get_f64("eb", cfg.error_bound)?;
+    cfg.geometry = BlockGeometry::new(
+        args.get_usize("subblocks", cfg.geometry.num_subblocks)?,
+        args.get_usize("subblock-size", cfg.geometry.subblock_size)?,
+    );
+    cfg.mix = soak::OpMix {
+        read: args.get_usize("read-weight", cfg.mix.read as usize)? as u32,
+        write_container: args.get_usize("container-weight", cfg.mix.write_container as usize)?
+            as u32,
+        write_stream: args.get_usize("stream-weight", cfg.mix.write_stream as usize)? as u32,
+        crash_resume: args.get_usize("crash-weight", cfg.mix.crash_resume as usize)? as u32,
+        scrub: args.get_usize("scrub-weight", cfg.mix.scrub as usize)? as u32,
+    };
+    cfg.faults = soak::FaultPlan {
+        bit_flip_every: args.get_usize("bit-flip-every", cfg.faults.bit_flip_every)?,
+        flips_per_event: args.get_usize("flips-per-event", cfg.faults.flips_per_event)?,
+        torn_stream_every: args.get_usize("torn-every", cfg.faults.torn_stream_every)?,
+        transient_rate: args.get_f64("transient-rate", cfg.faults.transient_rate)?,
+        max_transient_errors: args
+            .get_usize("max-transients", cfg.faults.max_transient_errors as usize)?
+            as u32,
+    };
+    cfg.slo = soak::SloGates {
+        read_p99_us: args
+            .get("slo-read-p99-us")
+            .map(|_| args.get_usize("slo-read-p99-us", 0))
+            .transpose()?
+            .map(|v| v as u64),
+        min_repair_success: args
+            .get("slo-min-repair-success")
+            .map(|_| args.get_f64("slo-min-repair-success", 0.0))
+            .transpose()?,
+        max_quarantined: args
+            .get("slo-max-quarantined")
+            .map(|_| args.get_usize("slo-max-quarantined", 0))
+            .transpose()?
+            .map(|v| v as u64),
+        max_resident_values: args
+            .get("slo-max-resident-values")
+            .map(|_| args.get_usize("slo-max-resident-values", 0))
+            .transpose()?
+            .map(|v| v as i64),
+    };
+    let seconds = args.get_f64("seconds", 0.0)?;
+    if seconds > 0.0 {
+        cfg.time_budget = Some(std::time::Duration::from_secs_f64(seconds));
+    }
+    cfg.keep_artifacts = args.switch("keep");
+    let bench_out = args.get("bench-out").unwrap_or("BENCH_soak.json");
+
+    let report = soak::run(&cfg).map_err(|e| match e {
+        soak::SoakError::Config(m) => CliError::new(format!("soak: {m}")),
+        soak::SoakError::Io(io) => CliError::new(format!("soak: {io}")),
+    })?;
+
+    let t = &report.tallies;
+    writeln!(
+        out,
+        "soak: seed {} — {} ops across {} stores ({} skipped), {:.2}s wall",
+        report.seed,
+        t.ops_executed,
+        cfg.stores,
+        t.ops_skipped,
+        report.wall.as_secs_f64()
+    )?;
+    writeln!(
+        out,
+        "  faults: {} bit-flip events ({} bits), {} torn streams, {} crashes (all {} resumed), {} transient retries",
+        t.bit_flip_events, t.bit_flips, t.torn_streams, t.crashes, t.resumes, t.transient_retries
+    )?;
+    writeln!(
+        out,
+        "  healing: {} repaired on read, {} repaired by scrub, {} quarantined",
+        t.read_repaired, t.scrub_repaired, t.quarantined
+    )?;
+    for g in &report.gates {
+        writeln!(
+            out,
+            "  gate {:<24} threshold {:>12} actual {:>12}  {}",
+            g.gate,
+            format!("{}", g.threshold),
+            g.actual.map_or_else(|| "n/a".to_string(), |v| format!("{v}")),
+            if g.pass { "PASS" } else { "FAIL" }
+        )?;
+    }
+    if report.spans_dropped > 0 {
+        writeln!(
+            out,
+            "warning: {} telemetry span/event record(s) dropped at the {}-record buffer cap \
+             (counters and histograms behind the SLO gates remain complete)",
+            report.spans_dropped,
+            telemetry::SPAN_CAP
+        )?;
+    }
+    fs::write(bench_out, report.to_json(&cfg))
+        .map_err(|e| CliError::new(format!("writing {bench_out}: {e}")))?;
+    writeln!(out, "  report: {bench_out}")?;
+    if let Some(tcap) = telem {
+        tcap.finish(out)?;
+    }
+
+    if !report.zero_data_loss() {
+        return Err(CliError::corruption(format!(
+            "soak: DATA LOSS — {} block(s) unaccounted, {} value mismatch(es)",
+            report.unaccounted_loss, t.value_mismatches
+        )));
+    }
+    if !report.all_gates_pass() {
+        let failed: Vec<&str> = report
+            .gates
+            .iter()
+            .filter(|g| !g.pass)
+            .map(|g| g.gate)
+            .collect();
+        return Err(CliError::corruption(format!(
+            "soak: SLO gate(s) violated: {}",
+            failed.join(", ")
+        )));
+    }
+    writeln!(out, "soak: PASS — zero data loss, all gates hold")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -896,6 +1075,24 @@ mod tests {
 
     fn sv(words: &[&str]) -> Vec<String> {
         words.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn span_drop_warning_fires_only_when_records_were_dropped() {
+        let mut snap = telemetry::Snapshot::default();
+        assert_eq!(span_drop_warning(&snap), None, "clean capture: no warning");
+
+        snap.spans_dropped = 1234;
+        let warning = span_drop_warning(&snap).expect("drops must warn");
+        assert!(warning.contains("1234"), "{warning}");
+        assert!(
+            warning.contains(&telemetry::SPAN_CAP.to_string()),
+            "warning names the cap: {warning}"
+        );
+        assert!(
+            warning.contains("counters and histograms remain complete"),
+            "warning scopes the loss to the span timeline: {warning}"
+        );
     }
 
     #[test]

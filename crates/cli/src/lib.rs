@@ -31,7 +31,9 @@ use std::fmt;
 /// * `0` — success, artifact clean
 /// * `1` — I/O or usage error (missing file, bad flag, unknown format)
 /// * `2` — corruption found in a recognized PaSTRI artifact
-///   (`verify` found damage, or `salvage` had to drop segments)
+///   (`verify`/`decompress` hit damage, `scrub` could not fully repair,
+///   `salvage` had to drop segments, or `soak` lost data / violated an
+///   SLO gate)
 #[derive(Debug)]
 pub struct CliError {
     pub message: String,
@@ -88,6 +90,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "gen" => commands::generate(rest, out),
         "assess" => commands::assess(rest, out),
         "report" => commands::report(rest, out),
+        "soak" => commands::soak_cmd(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -117,6 +120,8 @@ USAGE:
                     [--blocks 100] [--seed 0] [--cluster 1] [--model]
   pastri assess     <original.f64> <decompressed.f64>
   pastri report     <telemetry.jsonl>
+  pastri soak       <dir> [--seed 42] [--ops 120] [--stores 4] [--scale 12]
+                    [--seconds S] [--bench-out BENCH_soak.json] [--keep]
 
 FLAGS:
   --config   BF configuration, e.g. '(dd|dd)', '(ff|ff)', 'fdff'
@@ -145,6 +150,23 @@ DURABILITY (streamed compression):
                          byte-identical to an uninterrupted run. Pass
                          the same flags as the interrupted run.
 
+SOAK (deterministic fault-storm harness with SLO gates):
+  `pastri soak` runs a seeded mixed workload (reads with repair-on-read,
+  container/stream/durable writes, scrubs, crash/resume) across many
+  stores concurrently while injecting bit-flip SDC, torn-write kills,
+  and transient read errors. For a fixed --seed and --ops budget the
+  op/fault tallies are bit-identical at any thread count. At the end it
+  verifies zero data loss and evaluates the configured SLO gates.
+  --ops N / --seconds S       op-count or wall-clock budget
+  --stores N / --scale N      concurrency and blocks-per-store knobs
+  --read-weight --container-weight --stream-weight --crash-weight
+  --scrub-weight              op-mix weights (default 6/1/2/1/2)
+  --bit-flip-every N --flips-per-event K --torn-every N
+  --transient-rate P          fault schedule (0 disables a class)
+  --slo-read-p99-us N --slo-min-repair-success F
+  --slo-max-quarantined N --slo-max-resident-values N   SLO gates
+  --bench-out FILE            machine-readable report (BENCH_soak.json)
+
 SELF-HEALING:
   Containers carry Reed-Solomon parity by default (v3): up to 2 damaged
   blocks per group of 8 rebuild bit-exact. `verify` classifies damage as
@@ -155,6 +177,8 @@ SELF-HEALING:
 EXIT CODES:
   0  success / artifact clean / scrub fully repaired in place
   1  I/O or usage error (missing file, bad flag, unknown format)
-  2  corruption found (verify found damage; scrub could not fully
-     repair, or found damage without --repair; salvage dropped data)"
+  2  corruption found (verify found damage; decompress hit damage in a
+     recognized artifact; scrub could not fully repair, or found damage
+     without --repair; salvage dropped data; soak lost data or violated
+     an SLO gate)"
 }

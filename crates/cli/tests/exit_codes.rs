@@ -1,0 +1,334 @@
+//! Table-driven check of the CLI exit-code contract.
+//!
+//! Scripts gate on these codes (see `pastri_cli::usage()`):
+//!
+//! * `0` — success / artifact clean
+//! * `1` — I/O or usage error (missing file, bad flag, unknown format)
+//! * `2` — corruption found in a recognized PaSTRI artifact, or a soak
+//!   run that lost data / violated an SLO gate
+//!
+//! Every subcommand with a meaningful clean / I/O-error / corruption
+//! split is exercised through the public `pastri_cli::run` entry point,
+//! exactly as the binary drives it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pastri-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sv(words: &[&str]) -> Vec<String> {
+    words.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// Run the CLI and reduce the result to the process exit code.
+fn exit_code(argv: &[String]) -> i32 {
+    match pastri_cli::run(argv, &mut Vec::new()) {
+        Ok(()) => 0,
+        Err(e) => e.code,
+    }
+}
+
+fn p(path: &Path, name: &str) -> String {
+    path.join(name).to_string_lossy().into_owned()
+}
+
+/// LEB128 varint at `pos`; returns (value, offset past it).
+fn read_varint_at(bytes: &[u8], mut pos: usize) -> (usize, usize) {
+    let mut v = 0usize;
+    let mut shift = 0;
+    loop {
+        let b = bytes[pos];
+        pos += 1;
+        v |= ((b & 0x7f) as usize) << shift;
+        if b & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
+    }
+}
+
+#[test]
+fn exit_codes_follow_the_documented_contract() {
+    let dir = tmpdir("exit-codes");
+    let raw = p(&dir, "data.f64");
+    let container = p(&dir, "clean.pastri");
+    let stream = p(&dir, "clean.pstrs");
+    let missing = p(&dir, "no-such-file");
+
+    // Fixtures: a model dataset, a clean container, a clean stream.
+    assert_eq!(
+        exit_code(&sv(&[
+            "gen", &raw, "--config", "dddd", "--blocks", "8", "--model"
+        ])),
+        0
+    );
+    assert_eq!(
+        exit_code(&sv(&["compress", &raw, &container, "--config", "dddd"])),
+        0
+    );
+    assert_eq!(
+        exit_code(&sv(&[
+            "compress",
+            &raw,
+            &stream,
+            "--config",
+            "dddd",
+            "--stream",
+            "--segment-blocks",
+            "2",
+        ])),
+        0
+    );
+
+    // Corrupt container: flip a byte inside the first block's payload
+    // (located via the lossy decoder's per-block offsets) so both the
+    // strict decoder and verify see a checksum mismatch.
+    let damaged_container = p(&dir, "damaged.pastri");
+    let container_bytes = fs::read(&container).unwrap();
+    let decoded = pastri::decompress_lossy(&container_bytes).unwrap();
+    let mut bytes = container_bytes.clone();
+    bytes[decoded.outcomes[0].offset as usize + 8] ^= 0x40;
+    fs::write(&damaged_container, &bytes).unwrap();
+
+    // Corrupt stream: flip deep inside the first segment's container
+    // (walk the framing: "PSTRS" + version byte, then varint length),
+    // plus a truncated copy whose tail salvage must drop.
+    let damaged_stream = p(&dir, "damaged.pstrs");
+    let stream_bytes = fs::read(&stream).unwrap();
+    let (seg_len, seg_start) = read_varint_at(&stream_bytes, 6);
+    let mut bytes = stream_bytes.clone();
+    bytes[seg_start + seg_len / 2] ^= 0x10;
+    fs::write(&damaged_stream, &bytes).unwrap();
+    let truncated_stream = p(&dir, "truncated.pstrs");
+    fs::write(&truncated_stream, &stream_bytes[..stream_bytes.len() - 12]).unwrap();
+
+    // Not-a-PaSTRI-artifact input (unknown magic) and a raw file whose
+    // length is not a multiple of 8 (invalid f64 input).
+    let junk = p(&dir, "junk.bin");
+    fs::write(&junk, b"something else entirely").unwrap();
+    let odd_raw = p(&dir, "odd.f64");
+    fs::write(&odd_raw, [0u8; 9]).unwrap();
+
+    // Soak fixtures: output locations, plus a path whose parent is a
+    // regular file so the store directory cannot be created (I/O error).
+    let soak_dir = p(&dir, "soak");
+    let soak_bench = p(&dir, "BENCH_soak.json");
+    let blocker = p(&dir, "blocker");
+    fs::write(&blocker, b"a file, not a directory").unwrap();
+    let soak_bad_dir = format!("{blocker}/sub");
+    let soak_args = [
+        "--seed", "3", "--ops", "12", "--stores", "2", "--scale", "6",
+    ];
+
+    let out_f64 = p(&dir, "out.f64");
+    let out_pstrs = p(&dir, "out.pstrs");
+
+    struct Case {
+        label: &'static str,
+        argv: Vec<String>,
+        want: i32,
+    }
+    let soak_case = |extra: &[&str]| {
+        let mut v = sv(&["soak", &soak_dir]);
+        v.extend(sv(&soak_args));
+        v.extend(sv(&["--bench-out", &soak_bench]));
+        v.extend(sv(extra));
+        v
+    };
+    let cases = vec![
+        // compress: clean / missing input / invalid raw input.
+        Case {
+            label: "compress clean",
+            argv: sv(&["compress", &raw, &p(&dir, "c2.pastri"), "--config", "dddd"]),
+            want: 0,
+        },
+        Case {
+            label: "compress missing input",
+            argv: sv(&["compress", &missing, &p(&dir, "c3.pastri"), "--config", "dddd"]),
+            want: 1,
+        },
+        Case {
+            label: "compress odd-length raw",
+            argv: sv(&["compress", &odd_raw, &p(&dir, "c4.pastri"), "--config", "dddd"]),
+            want: 1,
+        },
+        // decompress: clean / missing / damage in a recognized artifact.
+        Case {
+            label: "decompress clean",
+            argv: sv(&["decompress", &container, &out_f64]),
+            want: 0,
+        },
+        Case {
+            label: "decompress missing input",
+            argv: sv(&["decompress", &missing, &out_f64]),
+            want: 1,
+        },
+        Case {
+            label: "decompress damaged container",
+            argv: sv(&["decompress", &damaged_container, &out_f64]),
+            want: 2,
+        },
+        // verify: clean / missing / unknown magic / damaged.
+        Case {
+            label: "verify clean container",
+            argv: sv(&["verify", &container]),
+            want: 0,
+        },
+        Case {
+            label: "verify clean stream",
+            argv: sv(&["verify", &stream]),
+            want: 0,
+        },
+        Case {
+            label: "verify missing file",
+            argv: sv(&["verify", &missing]),
+            want: 1,
+        },
+        Case {
+            label: "verify unknown magic",
+            argv: sv(&["verify", &junk]),
+            want: 1,
+        },
+        Case {
+            label: "verify damaged container",
+            argv: sv(&["verify", &damaged_container]),
+            want: 2,
+        },
+        Case {
+            label: "verify damaged stream",
+            argv: sv(&["verify", &damaged_stream]),
+            want: 2,
+        },
+        // salvage: clean / missing / lossy (dropped tail).
+        Case {
+            label: "salvage clean stream",
+            argv: sv(&["salvage", &stream, &out_pstrs]),
+            want: 0,
+        },
+        Case {
+            label: "salvage missing input",
+            argv: sv(&["salvage", &missing, &out_pstrs]),
+            want: 1,
+        },
+        Case {
+            label: "salvage truncated stream",
+            argv: sv(&["salvage", &truncated_stream, &p(&dir, "cut.pstrs")]),
+            want: 2,
+        },
+        // scrub: clean / missing / damage without --repair.
+        Case {
+            label: "scrub clean container",
+            argv: sv(&["scrub", &container]),
+            want: 0,
+        },
+        Case {
+            label: "scrub missing file",
+            argv: sv(&["scrub", &missing]),
+            want: 1,
+        },
+        Case {
+            label: "scrub damaged stream detect-only",
+            argv: sv(&["scrub", &damaged_stream]),
+            want: 2,
+        },
+        // soak: clean storm / un-creatable store dir / impossible gate.
+        Case {
+            label: "soak clean storm",
+            argv: soak_case(&[]),
+            want: 0,
+        },
+        Case {
+            label: "soak dir is under a file",
+            argv: {
+                let mut v = sv(&["soak", &soak_bad_dir]);
+                v.extend(sv(&soak_args));
+                v.extend(sv(&["--bench-out", &soak_bench]));
+                v
+            },
+            want: 1,
+        },
+        Case {
+            label: "soak impossible SLO gate",
+            argv: soak_case(&["--slo-read-p99-us", "0"]),
+            want: 2,
+        },
+        // usage errors.
+        Case {
+            label: "unknown subcommand",
+            argv: sv(&["frobnicate"]),
+            want: 1,
+        },
+        Case {
+            label: "verify with no path",
+            argv: sv(&["verify"]),
+            want: 1,
+        },
+    ];
+
+    let mut failures = Vec::new();
+    for case in &cases {
+        let got = exit_code(&case.argv);
+        if got != case.want {
+            failures.push(format!(
+                "{}: expected exit {}, got {} (argv: {:?})",
+                case.label, case.want, got, case.argv
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "exit-code contract violations:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Repeated quarantines of the same artifact must never clobber earlier
+/// evidence: the CLI picks `<file>.quarantine`, then `.quarantine.1`,
+/// `.quarantine.2`, … (satellite for `durable::fresh_quarantine_path`).
+#[test]
+fn repeated_scrub_quarantines_do_not_clobber() {
+    let dir = tmpdir("quarantine");
+    let raw = p(&dir, "q.f64");
+    let comp = p(&dir, "q.pastri");
+    let mut out = Vec::new();
+    pastri_cli::run(
+        &sv(&["gen", &raw, "--config", "dddd", "--blocks", "6", "--model"]),
+        &mut out,
+    )
+    .unwrap();
+    pastri_cli::run(&sv(&["compress", &raw, &comp, "--config", "dddd"]), &mut out).unwrap();
+    let clean = fs::read(&comp).unwrap();
+
+    // Damage three blocks in one parity group — beyond the two-shard
+    // repair budget, so `scrub --repair` must quarantine the original.
+    let damage = |clean: &[u8], mask: u8| {
+        let decoded = pastri::decompress_lossy(clean).unwrap();
+        let mut bytes = clean.to_vec();
+        for o in decoded.outcomes.iter().take(3) {
+            bytes[o.offset as usize + 8] ^= mask;
+        }
+        bytes
+    };
+
+    let first = damage(&clean, 0x40);
+    fs::write(&comp, &first).unwrap();
+    let err = pastri_cli::run(&sv(&["scrub", &comp, "--repair"]), &mut Vec::new()).unwrap_err();
+    assert_eq!(err.code, 2);
+    let q0 = format!("{comp}.quarantine");
+    assert_eq!(fs::read(&q0).unwrap(), first, "first quarantine holds the damage");
+
+    // Damage again with a different mask: the second quarantine must go
+    // to a numbered suffix, leaving the first capture intact.
+    let second = damage(&fs::read(&comp).unwrap(), 0x20);
+    fs::write(&comp, &second).unwrap();
+    let err = pastri_cli::run(&sv(&["scrub", &comp, "--repair"]), &mut Vec::new()).unwrap_err();
+    assert_eq!(err.code, 2);
+    let q1 = format!("{comp}.quarantine.1");
+    assert_eq!(fs::read(&q0).unwrap(), first, "first capture must survive");
+    assert_eq!(fs::read(&q1).unwrap(), second, "second capture gets a numbered suffix");
+}

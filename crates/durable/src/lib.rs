@@ -36,6 +36,10 @@ use std::path::{Path, PathBuf};
 
 use checksum::crc32;
 
+pub mod retry;
+
+pub use retry::{read_exact_retry, RetryPolicy, RetryStats};
+
 /// A byte sink that can force its contents to stable storage.
 ///
 /// `sync` must not return until every byte previously accepted by
@@ -335,6 +339,33 @@ pub fn load_checkpoint(path: &Path) -> io::Result<Option<Checkpoint>> {
     }
 }
 
+/// A quarantine path for a damaged artifact that never collides with an
+/// existing one: `<artifact>.quarantine`, then `.quarantine.1`,
+/// `.quarantine.2`, … — the first name not already on disk. Repeated
+/// scrub passes therefore never clobber evidence from an earlier pass.
+#[must_use]
+pub fn fresh_quarantine_path(artifact: &Path) -> PathBuf {
+    let mut base = artifact.file_name().map_or_else(
+        || std::ffi::OsString::from("artifact"),
+        std::ffi::OsStr::to_os_string,
+    );
+    base.push(".quarantine");
+    let dir = parent_of(artifact);
+    let first = dir.join(&base);
+    if !first.exists() {
+        return first;
+    }
+    for n in 1u64.. {
+        let mut name = base.clone();
+        name.push(format!(".{n}"));
+        let candidate = dir.join(name);
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("u64 quarantine suffixes exhausted")
+}
+
 /// Durably removes an artifact's journal (after a successful finish):
 /// unlink + directory fsync. Missing journal is fine.
 pub fn remove_journal(artifact: &Path) -> io::Result<()> {
@@ -466,6 +497,24 @@ mod tests {
         j.record(Checkpoint { segments: 9, values: 90, bytes: 999 }).unwrap();
         let cp = parse_last_checkpoint(&j.into_inner()).unwrap();
         assert_eq!(cp.segments, 3);
+    }
+
+    #[test]
+    fn fresh_quarantine_path_never_clobbers() {
+        let artifact = tmp("qpath.eristore");
+        let first = fresh_quarantine_path(&artifact);
+        assert!(first.to_string_lossy().ends_with(".eristore.quarantine"));
+        std::fs::write(&first, b"pass one").unwrap();
+        let second = fresh_quarantine_path(&artifact);
+        assert!(second.to_string_lossy().ends_with(".quarantine.1"));
+        std::fs::write(&second, b"pass two").unwrap();
+        let third = fresh_quarantine_path(&artifact);
+        assert!(third.to_string_lossy().ends_with(".quarantine.2"));
+        // Earlier evidence is intact.
+        assert_eq!(std::fs::read(&first).unwrap(), b"pass one");
+        assert_eq!(std::fs::read(&second).unwrap(), b"pass two");
+        let _ = std::fs::remove_file(&first);
+        let _ = std::fs::remove_file(&second);
     }
 
     #[test]

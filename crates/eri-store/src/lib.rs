@@ -45,12 +45,17 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
 use checksum::crc32;
+use durable::retry::RetryStats;
 use durable::{journal_path, remove_journal, scan_journal, Checkpoint, JournalWriter};
 use pastri::{BlockGeometry, Compressor};
 use rayon::prelude::*;
+
+/// Re-exported from [`durable::retry`]: the shared transient-I/O backoff
+/// policy (this crate's read path and the soak workload generator share
+/// one definition).
+pub use durable::retry::RetryPolicy;
 
 const MAGIC_V2: [u8; 8] = *b"ERISTOR2";
 const MAGIC_V1: [u8; 8] = *b"ERISTOR1";
@@ -196,93 +201,28 @@ pub struct ReadStats {
     pub blocks_dropped: u64,
 }
 
-/// Bounded exponential backoff for transient read errors
-/// (`Interrupted`, `WouldBlock`, `TimedOut`).
-#[derive(Debug, Clone, Copy)]
-pub struct RetryPolicy {
-    /// Transient failures tolerated per read call before giving up.
-    pub max_retries: u32,
-    /// Sleep before the first retry; doubles per retry.
-    pub initial_backoff: Duration,
-    /// Backoff ceiling.
-    pub max_backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        Self {
-            max_retries: 8,
-            initial_backoff: Duration::from_micros(100),
-            max_backoff: Duration::from_millis(50),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Fail fast: transient errors surface immediately.
-    #[must_use]
-    pub const fn none() -> Self {
-        Self {
-            max_retries: 0,
-            initial_backoff: Duration::ZERO,
-            max_backoff: Duration::ZERO,
-        }
-    }
-}
-
-fn is_transient(kind: ErrorKind) -> bool {
-    matches!(
-        kind,
-        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
-    )
-}
-
-/// Fills `buf` completely, retrying transient errors per `policy`.
-///
-/// Hand-rolled rather than `Read::read_exact` because std's loop retries
-/// `Interrupted` *unboundedly* and fails every other transient kind
-/// immediately — here both are bounded and backed off.
+/// Fills `buf` completely via the shared [`durable::retry`] loop, then
+/// folds the call's retry cost into this reader's [`ReadStats`] and the
+/// `store.transient_retries` / `store.backoff_us` telemetry counters —
+/// the per-store attribution the shared loop deliberately leaves to its
+/// callers. Accounted even when the read ultimately fails.
 fn read_exact_retry<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     policy: &RetryPolicy,
     stats: &mut ReadStats,
 ) -> io::Result<()> {
-    let mut filled = 0usize;
-    let mut retries = 0u32;
-    let mut backoff = policy.initial_backoff;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "store ended mid-read",
-                ))
-            }
-            Ok(n) => {
-                filled += n;
-                // Forward progress resets the transient budget.
-                retries = 0;
-                backoff = policy.initial_backoff;
-            }
-            Err(e) if is_transient(e.kind()) => {
-                if retries >= policy.max_retries {
-                    return Err(e);
-                }
-                retries += 1;
-                stats.transient_retries += 1;
-                telemetry::counter_add("store.transient_retries", 1);
-                if !backoff.is_zero() {
-                    stats.backoff_micros += backoff.as_micros() as u64;
-                    telemetry::counter_add("store.backoff_us", backoff.as_micros() as u64);
-                    std::thread::sleep(backoff);
-                }
-                backoff = (backoff * 2).min(policy.max_backoff);
-            }
-            Err(e) => return Err(e),
-        }
+    let mut rs = RetryStats::default();
+    let result = durable::retry::read_exact_retry(r, buf, policy, &mut rs);
+    if rs.transient_retries > 0 {
+        stats.transient_retries += rs.transient_retries;
+        telemetry::counter_add("store.transient_retries", rs.transient_retries);
     }
-    Ok(())
+    if rs.backoff_micros > 0 {
+        stats.backoff_micros += rs.backoff_micros;
+        telemetry::counter_add("store.backoff_us", rs.backoff_micros);
+    }
+    result
 }
 
 /// Durable-mode state of a [`StoreWriter`]: the checkpoint journal and
@@ -1393,9 +1333,8 @@ mod tests {
             },
         );
         let retry = RetryPolicy {
-            max_retries: 4,
-            initial_backoff: Duration::ZERO, // keep the test instant
-            max_backoff: Duration::ZERO,
+            max_retries: 4, // keep the test instant: zero backoff from none()
+            ..RetryPolicy::none()
         };
         let mut r = StoreReader::from_source(flaky, retry).unwrap();
         assert_eq!(r.num_blocks(), 8);

@@ -114,7 +114,13 @@ pub fn summary(snap: &Snapshot) -> String {
         render_nodes(&mut out, &nodes, 0);
     }
     if snap.spans_dropped > 0 {
-        let _ = writeln!(out, "  ({} spans dropped at buffer cap)", snap.spans_dropped);
+        let _ = writeln!(
+            out,
+            "  ({} spans dropped at the {}-record buffer cap — span timeline incomplete; \
+counters and histograms remain complete)",
+            snap.spans_dropped,
+            crate::SPAN_CAP
+        );
     }
 
     if !snap.counters.is_empty() {
