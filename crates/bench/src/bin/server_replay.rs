@@ -1,0 +1,118 @@
+//! Fixed-seed cache-server traffic replay, emitted as
+//! `BENCH_server.json`.
+//!
+//! Builds a seeded ERI store, mounts it behind the `eri-server` sharded
+//! cache server, and replays the seeded Zipf-ish workload from
+//! `eri_server::replay` — the SCF re-read pattern the cache exists for.
+//! For the fixed seed the report's `tallies` line (requests, blocks,
+//! bytes, folded value signature) is bit-identical from run to run and
+//! machine to machine; the `cache` / `timing` sections carry the
+//! run-varying hit rate, occupancy high-water, and telemetry-derived
+//! latency percentiles the trajectory tracks.
+//!
+//! `PASTRI_BENCH_SCALE` multiplies the dataset size and request budget
+//! like the other benches. Exits 2 if any batch fails to serve, so CI
+//! can gate on it exactly like `pastri bench-server`.
+
+use bench::{bench_scale, print_header, print_row};
+use pastri::BlockGeometry;
+
+fn patterned_block(geom: BlockGeometry, seed: usize) -> Vec<f64> {
+    let mut block = Vec::with_capacity(geom.block_size());
+    for sb in 0..geom.num_subblocks {
+        let s = ((sb + seed) as f64 * 0.61).cos();
+        for i in 0..geom.subblock_size {
+            block.push(s * ((i as f64 + seed as f64) * 0.37).sin() * 1e-6);
+        }
+    }
+    block
+}
+
+fn main() {
+    let scale = bench_scale();
+    let dir = std::env::temp_dir().join(format!("pastri-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let store = dir.join("replay.eristore");
+
+    let blocks = ((96.0 * scale).round() as usize).max(16);
+    let geom = BlockGeometry::new(4, 32);
+    let mut w = eri_store::StoreWriter::create(&store, geom, 1e-10).expect("bench store");
+    for b in 0..blocks {
+        w.append_block(&patterned_block(geom, 42 + b)).expect("bench append");
+    }
+    w.finish().expect("bench finish");
+
+    // Cache sized well under the dataset so eviction pressure is real.
+    let cfg = eri_server::ServerConfig {
+        cache_bytes: (blocks * geom.block_size() * 8) / 2,
+        ..Default::default()
+    };
+    let srv = eri_server::ServerHandle::open(&[&store], &cfg).expect("mount bench store");
+
+    let mut replay = eri_server::replay::ReplayConfig::default();
+    replay.requests_per_client = ((replay.requests_per_client as f64) * scale).round() as usize;
+    replay.requests_per_client = replay.requests_per_client.max(32);
+
+    println!(
+        "server replay — seed {}, {} clients x {} requests over {} blocks ({} shards)\n",
+        replay.seed,
+        replay.clients,
+        replay.requests_per_client,
+        srv.num_blocks(),
+        srv.num_shards()
+    );
+    let report = eri_server::replay::run(&srv, &replay);
+    let t = &report.tallies;
+    let s = &report.cache;
+
+    let widths = [28usize, 20];
+    print_header(&["metric", "value"], &widths);
+    for (name, v) in [
+        ("requests", t.requests.to_string()),
+        ("batches failed", t.batches_failed.to_string()),
+        ("blocks served", t.blocks_served.to_string()),
+        ("bytes served", t.bytes_served.to_string()),
+        ("value signature", format!("{:016x}", t.value_sig)),
+        (
+            "cache hit rate",
+            format!("{:.3}", s.hit_rate().unwrap_or(0.0)),
+        ),
+        ("cache evictions", s.evictions.to_string()),
+        ("cache high water (bytes)", s.high_water_bytes.to_string()),
+        (
+            "read p50 (us)",
+            report.read_p50_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ),
+        (
+            "read p99 (us)",
+            report.read_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ),
+        (
+            "miss p99 (us)",
+            report.miss_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ),
+        ("throughput (MB/s)", format!("{:.1}", report.mb_per_s)),
+    ] {
+        print_row(&[name.to_string(), v], &widths);
+    }
+    println!(
+        "\nreuse projection at measured hit rate: {:.3}s vs {:.3}s uncached ({:.1}x)",
+        report.reuse.cached_s,
+        report.reuse.uncached_s,
+        if report.reuse.cached_s > 0.0 {
+            report.reuse.uncached_s / report.reuse.cached_s
+        } else {
+            1.0
+        }
+    );
+
+    std::fs::write("BENCH_server.json", report.to_json()).expect("writing BENCH_server.json");
+    println!("wrote BENCH_server.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !report.pass() {
+        eprintln!("server replay FAILED: {} batch(es) failed to serve", t.batches_failed);
+        std::process::exit(2);
+    }
+}

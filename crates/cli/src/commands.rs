@@ -1063,6 +1063,214 @@ pub fn soak_cmd(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Maps a [`eri_server::ServerError`] onto the CLI exit-code contract:
+/// corruption in a recognized store is exit 2, everything else (missing
+/// file, bad mount, out-of-range request) is the usage/I-O exit 1.
+fn server_err(e: eri_server::ServerError) -> CliError {
+    if e.is_corruption() {
+        CliError::corruption(format!("server: {e}"))
+    } else {
+        CliError::new(format!("server: {e}"))
+    }
+}
+
+/// Parses `--blocks 0,3,7-9` into explicit ids.
+fn parse_block_list(spec: &str) -> Result<Vec<usize>, CliError> {
+    let mut ids = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part.split_once('-') {
+            Some((a, b)) => {
+                let (a, b) = (
+                    a.trim().parse::<usize>(),
+                    b.trim().parse::<usize>(),
+                );
+                match (a, b) {
+                    (Ok(a), Ok(b)) if a <= b => ids.extend(a..=b),
+                    _ => {
+                        return Err(CliError::new(format!(
+                            "--blocks: `{part}` is not a block id range"
+                        )))
+                    }
+                }
+            }
+            None => ids.push(part.trim().parse::<usize>().map_err(|_| {
+                CliError::new(format!("--blocks: `{part}` is not a block id"))
+            })?),
+        }
+    }
+    Ok(ids)
+}
+
+/// Shared server tunables for `serve` / `bench-server`.
+fn server_config(args: &Args) -> Result<eri_server::ServerConfig, CliError> {
+    let mut cfg = eri_server::ServerConfig::default();
+    cfg.shards_per_store = args.get_usize("shards", cfg.shards_per_store)?.max(1);
+    cfg.cache_bytes = args.get_usize("cache-mb", cfg.cache_bytes >> 20)? << 20;
+    cfg.cache_shards = args.get_usize("cache-shards", cfg.cache_shards)?.max(1);
+    Ok(cfg)
+}
+
+/// `pastri serve` — mount one or more stores behind the sharded cache
+/// server and serve a batched read in-process: the CLI face of
+/// [`eri_server::ServerHandle`]. With `--out`, the served blocks are
+/// written as raw little-endian f64 in request order.
+pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
+    args.positional(0, "store")?;
+    let cfg = server_config(&args)?;
+
+    let srv = eri_server::ServerHandle::open(&args.positional, &cfg).map_err(server_err)?;
+    let ids = match args.get("blocks") {
+        Some(spec) => parse_block_list(spec)?,
+        None => (0..srv.num_blocks()).collect(),
+    };
+
+    let started = std::time::Instant::now();
+    let blocks = srv.read_blocks(&ids).map_err(server_err)?;
+    let wall = started.elapsed().as_secs_f64();
+
+    if let Some(path) = args.get("out") {
+        let mut bytes = Vec::new();
+        for b in &blocks {
+            for v in b.iter() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        fs::write(path, &bytes).map_err(|e| CliError::new(format!("writing {path}: {e}")))?;
+        writeln!(out, "serve: wrote {} bytes to {path}", bytes.len())?;
+    }
+
+    let served: usize = blocks.iter().map(|b| b.len() * 8).sum();
+    let s = srv.cache_stats();
+    let r = srv.read_stats();
+    writeln!(
+        out,
+        "serve: {} block(s) from {} store(s) across {} shard(s) in {:.3}s",
+        blocks.len(),
+        srv.num_stores(),
+        srv.num_shards(),
+        wall
+    )?;
+    writeln!(
+        out,
+        "  {} decompressed bytes, cache {}/{} hits ({} resident bytes), {} repaired on read",
+        served, s.hits, s.lookups, s.bytes, r.blocks_repaired
+    )?;
+    if let Some(tcap) = telem {
+        tcap.finish(out)?;
+    }
+    Ok(())
+}
+
+/// Deterministic ERI-magnitude block for `bench-server --gen-blocks`
+/// fixtures (same envelope the integration fixtures use).
+fn bench_block(geom: BlockGeometry, seed: usize) -> Vec<f64> {
+    let mut block = Vec::with_capacity(geom.block_size());
+    for sb in 0..geom.num_subblocks {
+        let s = ((sb + seed) as f64 * 0.61).cos();
+        for i in 0..geom.subblock_size {
+            block.push(s * ((i as f64 + seed as f64) * 0.37).sin() * 1e-6);
+        }
+    }
+    block
+}
+
+/// `pastri bench-server` — seeded Zipf-ish traffic replay against the
+/// cache server, emitting BENCH_server.json. With `--gen-blocks N` the
+/// store is synthesized first (a seeded fixture), so CI can run the
+/// whole benchmark from nothing.
+pub fn bench_server(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
+    let store = args.positional(0, "store")?;
+    let cfg = server_config(&args)?;
+
+    let mut replay = eri_server::replay::ReplayConfig::default();
+    replay.seed = args.get_usize("seed", replay.seed as usize)? as u64;
+    replay.clients = args.get_usize("clients", replay.clients)?.max(1);
+    replay.requests_per_client = args.get_usize("requests", replay.requests_per_client)?.max(1);
+    replay.max_batch = args.get_usize("max-batch", replay.max_batch)?.max(1);
+    replay.skew = args.get_f64("skew", replay.skew)?;
+    let bench_out = args.get("bench-out").unwrap_or("BENCH_server.json");
+
+    let gen_blocks = args.get_usize("gen-blocks", 0)?;
+    if gen_blocks > 0 {
+        let geom = BlockGeometry::new(
+            args.get_usize("subblocks", 4)?,
+            args.get_usize("subblock-size", 32)?,
+        );
+        let eb = args.get_f64("eb", 1e-10)?;
+        if let Some(parent) = std::path::Path::new(store).parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| CliError::new(format!("creating {}: {e}", parent.display())))?;
+            }
+        }
+        let mut w = eri_store::StoreWriter::create(std::path::Path::new(store), geom, eb)
+            .map_err(|e| CliError::new(format!("generating {store}: {e}")))?;
+        for b in 0..gen_blocks {
+            w.append_block(&bench_block(geom, replay.seed as usize + b))
+                .map_err(|e| CliError::new(format!("generating {store}: {e}")))?;
+        }
+        w.finish()
+            .map_err(|e| CliError::new(format!("generating {store}: {e}")))?;
+        writeln!(out, "bench-server: generated {gen_blocks}-block store at {store}")?;
+    }
+
+    let srv = eri_server::ServerHandle::open(&[store], &cfg).map_err(server_err)?;
+    let report = eri_server::replay::run(&srv, &replay);
+
+    let t = &report.tallies;
+    let s = &report.cache;
+    writeln!(
+        out,
+        "bench-server: seed {} — {} requests from {} clients over {} blocks, {:.2}s wall",
+        replay.seed, t.requests, replay.clients, report.dataset_blocks, report.wall_s
+    )?;
+    writeln!(
+        out,
+        "  served {} blocks ({} bytes) at {:.1} MB/s, value_sig {:016x}",
+        t.blocks_served, t.bytes_served, report.mb_per_s, t.value_sig
+    )?;
+    writeln!(
+        out,
+        "  cache: hit rate {:.3} ({}/{} lookups), high water {} of {} bytes",
+        s.hit_rate().unwrap_or(0.0),
+        s.hits,
+        s.lookups,
+        s.high_water_bytes,
+        s.capacity_bytes
+    )?;
+    writeln!(
+        out,
+        "  latency: read p50 {} µs, p99 {} µs; miss p99 {} µs",
+        report.read_p50_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        report.read_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        report.miss_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+    )?;
+    writeln!(
+        out,
+        "  reuse model: {:.2}s regen, {:.2}s uncached, {:.2}s at measured hit rate",
+        report.reuse.original_s, report.reuse.uncached_s, report.reuse.cached_s
+    )?;
+    fs::write(bench_out, report.to_json())
+        .map_err(|e| CliError::new(format!("writing {bench_out}: {e}")))?;
+    writeln!(out, "  report: {bench_out}")?;
+    if let Some(tcap) = telem {
+        tcap.finish(out)?;
+    }
+
+    if !report.pass() {
+        return Err(CliError::corruption(format!(
+            "bench-server: {} batch(es) failed to serve",
+            t.batches_failed
+        )));
+    }
+    writeln!(out, "bench-server: PASS — every batch served")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,10 @@
 //! * `assess`     — compare an original and a decompressed file
 //! * `report`     — re-render a saved `--telemetry json` capture as the
 //!   human-readable summary tree
+//! * `serve`      — mount ERI stores behind the sharded cache server and
+//!   serve a batched block read
+//! * `bench-server` — seeded traffic replay against the cache server,
+//!   emitting BENCH_server.json
 //!
 //! The argument parser is deliberately dependency-free: flags are
 //! `--key value` pairs after the subcommand, positional paths first.
@@ -91,6 +95,8 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "assess" => commands::assess(rest, out),
         "report" => commands::report(rest, out),
         "soak" => commands::soak_cmd(rest, out),
+        "serve" => commands::serve(rest, out),
+        "bench-server" => commands::bench_server(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -122,6 +128,12 @@ USAGE:
   pastri report     <telemetry.jsonl>
   pastri soak       <dir> [--seed 42] [--ops 120] [--stores 4] [--scale 12]
                     [--seconds S] [--bench-out BENCH_soak.json] [--keep]
+  pastri serve      <store.eristore>... [--blocks 0,3,7-9] [--out raw.f64]
+                    [--shards 4] [--cache-mb 8] [--cache-shards 8]
+  pastri bench-server <store.eristore> [--gen-blocks N] [--seed 42]
+                    [--clients 4] [--requests 256] [--max-batch 8]
+                    [--skew 3.0] [--shards 4] [--cache-mb 8]
+                    [--bench-out BENCH_server.json]
 
 FLAGS:
   --config   BF configuration, e.g. '(dd|dd)', '(ff|ff)', 'fdff'
@@ -167,6 +179,17 @@ SOAK (deterministic fault-storm harness with SLO gates):
   --slo-max-quarantined N --slo-max-resident-values N   SLO gates
   --bench-out FILE            machine-readable report (BENCH_soak.json)
 
+CACHE SERVER (`serve` / `bench-server`):
+  `pastri serve` mounts one or more stores (shared geometry and error
+  bound) as one global block index space behind shard-parallel readers
+  and a byte-budgeted hot-block cache, then serves the requested blocks
+  in order (all blocks when --blocks is omitted). `pastri bench-server`
+  replays a seeded Zipf-ish workload against the same server: for a
+  fixed --seed the report's `tallies` line (requests, blocks, bytes,
+  value signature) is bit-identical at any thread count, while `cache`
+  and `timing` carry the scheduling-dependent hit rate and latency
+  percentiles. --gen-blocks N synthesizes the store first.
+
 SELF-HEALING:
   Containers carry Reed-Solomon parity by default (v3): up to 2 damaged
   blocks per group of 8 rebuild bit-exact. `verify` classifies damage as
@@ -180,5 +203,6 @@ EXIT CODES:
   2  corruption found (verify found damage; decompress hit damage in a
      recognized artifact; scrub could not fully repair, or found damage
      without --repair; salvage dropped data; soak lost data or violated
-     an SLO gate)"
+     an SLO gate; serve/bench-server hit a block beyond the parity
+     budget)"
 }

@@ -4,8 +4,9 @@
 //!
 //! * `0` — success / artifact clean
 //! * `1` — I/O or usage error (missing file, bad flag, unknown format)
-//! * `2` — corruption found in a recognized PaSTRI artifact, or a soak
-//!   run that lost data / violated an SLO gate
+//! * `2` — corruption found in a recognized PaSTRI artifact, a soak
+//!   run that lost data / violated an SLO gate, or a cache-server
+//!   read that hit a block beyond the parity budget
 //!
 //! Every subcommand with a meaningful clean / I/O-error / corruption
 //! split is exercised through the public `pastri_cli::run` entry point,
@@ -35,6 +36,40 @@ fn exit_code(argv: &[String]) -> i32 {
 
 fn p(path: &Path, name: &str) -> String {
     path.join(name).to_string_lossy().into_owned()
+}
+
+/// Builds a small seeded ERI store for the `serve` / `bench-server`
+/// rows (same patterned-block fixture the integration tests use).
+fn build_server_store(path: &str, n: usize) {
+    let geom = pastri::BlockGeometry::new(4, 16);
+    let mut w = eri_store::StoreWriter::create(Path::new(path), geom, 1e-10).unwrap();
+    for b in 0..n {
+        let mut block = Vec::with_capacity(geom.block_size());
+        for sb in 0..geom.num_subblocks {
+            let s = ((sb + b) as f64 * 0.61).cos();
+            for i in 0..geom.subblock_size {
+                block.push(s * ((i + b) as f64 * 0.37).sin() * 1e-6);
+            }
+        }
+        w.append_block(&block).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+/// Shreds stored block `i`'s whole container span — beyond the parity
+/// budget by construction, so reads must fail as corruption (exit 2).
+fn shred_store_block(path: &str, i: usize) {
+    let mut bytes = fs::read(path).unwrap();
+    assert_eq!(&bytes[..8], b"ERISTOR2");
+    let index_offset = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+    let entry = index_offset + i * eri_store::INDEX_ENTRY_V2 as usize;
+    let off = u64::from_le_bytes(bytes[entry..entry + 8].try_into().unwrap()) as usize;
+    let len = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap()) as usize;
+    assert!(off >= eri_store::HEADER_LEN_V2 as usize && off + len <= bytes.len());
+    for p in (off + 8..off + len).step_by(7) {
+        bytes[p] ^= 0x55;
+    }
+    fs::write(path, bytes).unwrap();
 }
 
 /// LEB128 varint at `pos`; returns (value, offset past it).
@@ -127,6 +162,16 @@ fn exit_codes_follow_the_documented_contract() {
 
     let out_f64 = p(&dir, "out.f64");
     let out_pstrs = p(&dir, "out.pstrs");
+
+    // Cache-server fixtures: a clean store, a copy with one block
+    // shredded beyond the parity budget, and report/output paths.
+    let clean_store = p(&dir, "clean.eristore");
+    let shredded_store = p(&dir, "shredded.eristore");
+    build_server_store(&clean_store, 12);
+    build_server_store(&shredded_store, 12);
+    shred_store_block(&shredded_store, 3);
+    let server_bench = p(&dir, "BENCH_server.json");
+    let gen_store = p(&dir, "generated.eristore");
 
     struct Case {
         label: &'static str,
@@ -255,6 +300,51 @@ fn exit_codes_follow_the_documented_contract() {
         Case {
             label: "soak impossible SLO gate",
             argv: soak_case(&["--slo-read-p99-us", "0"]),
+            want: 2,
+        },
+        // serve: clean / missing store / out-of-range request /
+        // beyond-parity-budget block in a mounted shard.
+        Case {
+            label: "serve clean store",
+            argv: sv(&["serve", &clean_store, "--blocks", "0-11"]),
+            want: 0,
+        },
+        Case {
+            label: "serve missing store",
+            argv: sv(&["serve", &missing]),
+            want: 1,
+        },
+        Case {
+            label: "serve out-of-range block",
+            argv: sv(&["serve", &clean_store, "--blocks", "99"]),
+            want: 1,
+        },
+        Case {
+            label: "serve shredded block",
+            argv: sv(&["serve", &shredded_store]),
+            want: 2,
+        },
+        // bench-server: clean replay (generating its own store) /
+        // missing store / replay that hits the shredded block.
+        Case {
+            label: "bench-server clean",
+            argv: sv(&[
+                "bench-server", &gen_store, "--gen-blocks", "10", "--clients", "2",
+                "--requests", "16", "--bench-out", &server_bench,
+            ]),
+            want: 0,
+        },
+        Case {
+            label: "bench-server missing store",
+            argv: sv(&["bench-server", &missing, "--bench-out", &server_bench]),
+            want: 1,
+        },
+        Case {
+            label: "bench-server shredded store",
+            argv: sv(&[
+                "bench-server", &shredded_store, "--clients", "2", "--requests", "64",
+                "--skew", "1.0", "--bench-out", &server_bench,
+            ]),
             want: 2,
         },
         // usage errors.

@@ -1,0 +1,354 @@
+//! Seeded traffic replay: the client side of `pastri bench-server`.
+//!
+//! Like soak's fault storm, the entire workload derives from one
+//! `--seed` up front: a seeded permutation of the block index space
+//! plus a Zipf-ish popularity draw (`u^skew` over ranks, so a handful
+//! of "hot" shell quartets absorb most reads — the SCF reuse access
+//! pattern the cache exists for). `clients` concurrent clients each
+//! issue `requests_per_client` batched reads on the rayon pool; each
+//! client's op stream is derived independently of scheduling, so the
+//! deterministic tallies — request counts, blocks, bytes, and the
+//! folded value signature — are bit-identical across reruns and thread
+//! counts. Served values are bit-exact whether they came from the
+//! cache or the store (the differential tests prove it), which is
+//! exactly why the value signature stays stable while hit/miss splits
+//! may not: cache interleaving is scheduling-dependent, block *content*
+//! is not.
+//!
+//! [`ReplayReport::to_json`] writes BENCH_server.json in the soak
+//! style: `"config"` and `"tallies"` are single lines CI diffs across
+//! same-seed runs; `"cache"` and `"timing"` carry the
+//! interleaving/wall-clock-dependent numbers (hit rate, p50/p99 from
+//! the `server.read_us` telemetry histogram, MB/s, occupancy
+//! high-water); `"reuse"` projects the measured hit rate through the
+//! pfs-sim Fig. 11 model.
+
+use std::time::Instant;
+
+use durable::retry::splitmix64;
+
+use crate::{CacheStats, ServerHandle};
+
+/// Workload shape for one replay run. Everything is derived from
+/// `seed`; two runs with equal configs replay the identical op plan.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Master seed for the permutation and every client's op stream.
+    pub seed: u64,
+    /// Concurrent clients (each is one rayon task).
+    pub clients: usize,
+    /// Batched read requests each client issues, sequentially.
+    pub requests_per_client: usize,
+    /// Batch sizes are drawn uniformly from `1..=max_batch`.
+    pub max_batch: usize,
+    /// Popularity skew exponent: block rank = `⌊u^skew · n⌋` for
+    /// uniform `u` — higher is hotter. 1.0 is uniform traffic.
+    pub skew: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            seed: 42,
+            clients: 4,
+            requests_per_client: 256,
+            max_batch: 8,
+            skew: 3.0,
+        }
+    }
+}
+
+/// The deterministic side of a replay: identical for a fixed
+/// (config, dataset) regardless of thread count or cache interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayTallies {
+    /// Batched requests issued (`clients × requests_per_client`).
+    pub requests: u64,
+    /// Requests fully served.
+    pub batches_ok: u64,
+    /// Requests that failed (a shard error surfaced); their blocks are
+    /// excluded from every other tally.
+    pub batches_failed: u64,
+    /// Blocks served across all OK batches.
+    pub blocks_served: u64,
+    /// Decompressed bytes served across all OK batches.
+    pub bytes_served: u64,
+    /// splitmix64 fold of every served value's bit pattern, per client
+    /// in issue order, then across clients in client order — the
+    /// bit-exactness witness.
+    pub value_sig: u64,
+}
+
+/// Measured-hit-rate projection through the pfs-sim reuse model
+/// (Fig. 11 arithmetic with the cache discounting decompression).
+#[derive(Debug, Clone, Copy)]
+pub struct ReuseProjection {
+    /// Cache hit rate measured by this replay (0 when no lookups).
+    pub hit_rate: f64,
+    /// SCF reuse count the projection assumes (the paper's 20).
+    pub reuse_count: u32,
+    /// Regenerate-every-time baseline, seconds.
+    pub original_s: f64,
+    /// Compress-once / decompress-every-reuse, seconds.
+    pub uncached_s: f64,
+    /// Same, with the measured hit rate discounting decompression.
+    pub cached_s: f64,
+}
+
+/// Everything a replay run produces.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    pub config: ReplayConfig,
+    /// Dataset size the replay ran against, in blocks.
+    pub dataset_blocks: usize,
+    pub tallies: ReplayTallies,
+    /// Cache counters at end of run (interleaving-dependent split).
+    pub cache: CacheStats,
+    /// Per-block service latency percentiles from `server.read_us`.
+    pub read_p50_us: Option<u64>,
+    pub read_p99_us: Option<u64>,
+    /// Store-fetch path p99 from `server.miss_us`.
+    pub miss_p99_us: Option<u64>,
+    /// Wall time of the whole replay, seconds.
+    pub wall_s: f64,
+    /// Decompressed bytes served per second of wall time, in MB/s.
+    pub mb_per_s: f64,
+    pub reuse: ReuseProjection,
+}
+
+impl ReplayReport {
+    /// Did every batch serve? (The CLI maps `false` to exit code 2.)
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.tallies.batches_failed == 0
+    }
+
+    /// BENCH_server.json: line-oriented, with `"config"` and
+    /// `"tallies"` each on a single diffable line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let t = &self.tallies;
+        let s = &self.cache;
+        let r = &self.reuse;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"server\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"seed\": {}, \"clients\": {}, \"requests_per_client\": {}, \
+             \"max_batch\": {}, \"skew\": {}, \"dataset_blocks\": {}, \"cache_capacity_bytes\": {}}},\n",
+            c.seed,
+            c.clients,
+            c.requests_per_client,
+            c.max_batch,
+            json_f64(c.skew),
+            self.dataset_blocks,
+            s.capacity_bytes,
+        ));
+        out.push_str(&format!(
+            "  \"tallies\": {{\"requests\": {}, \"batches_ok\": {}, \"batches_failed\": {}, \
+             \"blocks_served\": {}, \"bytes_served\": {}, \"value_sig\": {}}},\n",
+            t.requests, t.batches_ok, t.batches_failed, t.blocks_served, t.bytes_served, t.value_sig,
+        ));
+        out.push_str(&format!(
+            "  \"cache\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"insertions\": {}, \
+             \"evictions\": {}, \"admission_rejects\": {}, \"hit_rate\": {}, \
+             \"occupancy_bytes\": {}, \"high_water_bytes\": {}}},\n",
+            s.lookups,
+            s.hits,
+            s.misses,
+            s.insertions,
+            s.evictions,
+            s.admission_rejects,
+            json_f64(s.hit_rate().unwrap_or(0.0)),
+            s.bytes,
+            s.high_water_bytes,
+        ));
+        out.push_str(&format!(
+            "  \"timing\": {{\"wall_s\": {}, \"read_p50_us\": {}, \"read_p99_us\": {}, \
+             \"miss_p99_us\": {}, \"mb_per_s\": {}}},\n",
+            json_f64(self.wall_s),
+            json_opt(self.read_p50_us),
+            json_opt(self.read_p99_us),
+            json_opt(self.miss_p99_us),
+            json_f64(self.mb_per_s),
+        ));
+        out.push_str(&format!(
+            "  \"reuse\": {{\"hit_rate\": {}, \"reuse_count\": {}, \"original_s\": {}, \
+             \"uncached_s\": {}, \"cached_s\": {}, \"speedup_vs_uncached\": {}}},\n",
+            json_f64(r.hit_rate),
+            r.reuse_count,
+            json_f64(r.original_s),
+            json_f64(r.uncached_s),
+            json_f64(r.cached_s),
+            json_f64(if r.cached_s > 0.0 { r.uncached_s / r.cached_s } else { 1.0 }),
+        ));
+        out.push_str(&format!("  \"pass\": {}\n", self.pass()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Finite f64 as JSON (plain decimal; telemetry latencies and rates
+/// are well within f64's exact range here).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |u| u.to_string())
+}
+
+/// What one client accumulated; folded into [`ReplayTallies`] in
+/// client order after the parallel phase.
+struct ClientTally {
+    batches_ok: u64,
+    batches_failed: u64,
+    blocks: u64,
+    bytes: u64,
+    sig: u64,
+}
+
+/// Seeded permutation of `0..n`: which actual block each popularity
+/// rank maps to, so different seeds heat different quartets.
+fn popularity_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.sort_by_key(|&i| splitmix64(seed ^ 0x517c_c1b7_2722_0a95 ^ i as u64));
+    ids
+}
+
+fn run_client(handle: &ServerHandle, perm: &[usize], cfg: &ReplayConfig, client: usize) -> ClientTally {
+    let mut x = splitmix64(cfg.seed ^ splitmix64(client as u64 + 1));
+    let mut next = move || {
+        x = splitmix64(x);
+        x
+    };
+    let n = perm.len() as f64;
+    let mut tally = ClientTally {
+        batches_ok: 0,
+        batches_failed: 0,
+        blocks: 0,
+        bytes: 0,
+        sig: splitmix64(cfg.seed ^ (client as u64) << 17),
+    };
+    for _ in 0..cfg.requests_per_client {
+        let batch = 1 + (next() % cfg.max_batch.max(1) as u64) as usize;
+        let ids: Vec<usize> = (0..batch)
+            .map(|_| {
+                // 53-bit uniform in [0,1), skewed toward rank 0.
+                let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                let rank = (u.powf(cfg.skew) * n) as usize;
+                perm[rank.min(perm.len() - 1)]
+            })
+            .collect();
+        match handle.read_blocks(&ids) {
+            Ok(blocks) => {
+                tally.batches_ok += 1;
+                for b in &blocks {
+                    tally.blocks += 1;
+                    tally.bytes += (b.len() * 8) as u64;
+                    for v in b.iter() {
+                        tally.sig = splitmix64(tally.sig ^ v.to_bits());
+                    }
+                }
+            }
+            // A failed batch contributes nothing to the value
+            // signature — partial results never leak into the witness.
+            Err(_) => tally.batches_failed += 1,
+        }
+    }
+    tally
+}
+
+/// Runs the replay against an open server. Owns the global telemetry
+/// recorder for the duration (reset + enable, previous state restored),
+/// exactly like `soak::run`.
+#[must_use]
+pub fn run(handle: &ServerHandle, cfg: &ReplayConfig) -> ReplayReport {
+    use rayon::prelude::*;
+
+    let was_enabled = telemetry::is_enabled();
+    telemetry::reset();
+    telemetry::set_enabled(true);
+
+    let perm = popularity_perm(handle.num_blocks(), cfg.seed);
+    let started = Instant::now();
+    let clients: Vec<ClientTally> = (0..cfg.clients)
+        .into_par_iter()
+        .map(|c| run_client(handle, &perm, cfg, c))
+        .collect();
+    let wall = started.elapsed();
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(was_enabled);
+
+    let mut tallies = ReplayTallies {
+        requests: (cfg.clients * cfg.requests_per_client) as u64,
+        batches_ok: 0,
+        batches_failed: 0,
+        blocks_served: 0,
+        bytes_served: 0,
+        value_sig: splitmix64(cfg.seed),
+    };
+    for c in &clients {
+        tallies.batches_ok += c.batches_ok;
+        tallies.batches_failed += c.batches_failed;
+        tallies.blocks_served += c.blocks;
+        tallies.bytes_served += c.bytes;
+        tallies.value_sig = splitmix64(tallies.value_sig ^ c.sig);
+    }
+
+    let read_hist = snap.histograms.iter().find(|h| h.name == "server.read_us");
+    let miss_hist = snap.histograms.iter().find(|h| h.name == "server.miss_us");
+    let cache = handle.cache_stats();
+    let wall_s = wall.as_secs_f64();
+
+    // Reuse projection: the paper's Fig. 11 pipeline with this run's
+    // measured hit rate and miss-path decompression throughput.
+    let hit_rate = cache.hit_rate().unwrap_or(0.0);
+    let block_bytes = (handle.geometry().block_size() * 8) as f64;
+    let miss_bytes = snap.counter("server.store_reads") as f64 * block_bytes;
+    let decompress_mbs = match miss_hist {
+        // MB over seconds: (bytes/1e6) / (µs/1e6) = bytes/µs.
+        Some(h) if h.sum > 0 => miss_bytes / h.sum as f64,
+        _ => 1110.0, // nothing missed; fall back to the measured-corpus rate
+    };
+    let profile = pfs_sim::CompressorProfile {
+        name: "PaSTRI".into(),
+        ratio: handle.raw_bytes() as f64 / handle.compressed_bytes().max(1) as f64,
+        compress_mbs: 660.0, // not exercised by a read-only replay
+        decompress_mbs,
+    };
+    let model = pfs_sim::ReuseModel {
+        bytes: handle.raw_bytes() as f64,
+        eri_gen_mbs: pfs_sim::gamess_eri_rate_mbs("(dd|dd)"),
+        reuse_count: 20,
+    };
+    let reuse = ReuseProjection {
+        hit_rate,
+        reuse_count: 20,
+        original_s: model.original().total_s(),
+        uncached_s: model.with_compressor(&profile).total_s(),
+        cached_s: model.with_cache_server(&profile, hit_rate).total_s(),
+    };
+
+    ReplayReport {
+        config: cfg.clone(),
+        dataset_blocks: handle.num_blocks(),
+        tallies,
+        cache,
+        read_p50_us: read_hist.and_then(|h| h.percentile_us(0.5)),
+        read_p99_us: read_hist.and_then(|h| h.percentile_us(0.99)),
+        miss_p99_us: miss_hist.and_then(|h| h.percentile_us(0.99)),
+        wall_s,
+        mb_per_s: if wall_s > 0.0 {
+            tallies.bytes_served as f64 / 1e6 / wall_s
+        } else {
+            0.0
+        },
+        reuse,
+    }
+}

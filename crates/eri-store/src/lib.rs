@@ -62,9 +62,13 @@ const MAGIC_V1: [u8; 8] = *b"ERISTOR1";
 /// Header bytes covered by the v2 header CRC (everything before it).
 const HEADER_BODY_LEN: u64 = 8 + 8 + 8 + 8 + 8 + 8;
 const HEADER_LEN_V1: u64 = HEADER_BODY_LEN;
-const HEADER_LEN_V2: u64 = HEADER_BODY_LEN + 4;
+/// Total v2 header length (body + header CRC32). Public so tooling and
+/// fault injectors can locate block spans without re-deriving the
+/// layout.
+pub const HEADER_LEN_V2: u64 = HEADER_BODY_LEN + 4;
 const INDEX_ENTRY_V1: u64 = 16;
-const INDEX_ENTRY_V2: u64 = 20;
+/// Size of one v2 index entry: offset u64 + len u64 + payload CRC32.
+pub const INDEX_ENTRY_V2: u64 = 20;
 
 /// Errors from the block store.
 #[derive(Debug)]
@@ -539,6 +543,29 @@ impl StoreWriter {
     }
 }
 
+/// Splits `num_blocks` into at most `shards` contiguous, near-even,
+/// non-empty ranges covering `0..num_blocks` — the shard layout the
+/// cache server routes shell-quartet block indices through. The first
+/// `num_blocks % shards` ranges are one block longer, so any two ranges
+/// differ in length by at most one.
+#[must_use]
+pub fn shard_ranges(num_blocks: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    if num_blocks == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, num_blocks);
+    let base = num_blocks / shards;
+    let extra = num_blocks % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
 /// The parent directory of `path`, defaulting to `.` for bare names.
 fn parent_of(path: &Path) -> PathBuf {
     match path.parent() {
@@ -615,6 +642,13 @@ impl StoreReader<File> {
     /// Opens a store and loads its index.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
         Self::from_source(File::open(path)?, RetryPolicy::default())
+    }
+
+    /// Opens a store with an explicit transient-retry policy. Each call
+    /// owns an independent file handle, so a sharded server can open one
+    /// reader per shard of the same store and read them concurrently.
+    pub fn open_with_retry(path: &Path, retry: RetryPolicy) -> Result<Self, StoreError> {
+        Self::from_source(File::open(path)?, retry)
     }
 }
 
@@ -732,6 +766,15 @@ impl<R: Read + Seek> StoreReader<R> {
     #[must_use]
     pub fn error_bound(&self) -> f64 {
         self.error_bound
+    }
+
+    /// Total compressed payload bytes across all blocks (container
+    /// bytes as indexed, excluding header and index overhead) — the
+    /// numerator a server needs to report an effective compression
+    /// ratio without re-reading the file.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.index.iter().map(|e| e.len).sum()
     }
 
     /// Lifetime counters: transient retries absorbed, backoff slept,
@@ -933,6 +976,28 @@ mod tests {
             }
         }
         block
+    }
+
+    #[test]
+    fn shard_ranges_cover_contiguously_and_near_evenly() {
+        for (nb, shards) in [(0, 4), (1, 4), (7, 3), (12, 4), (5, 8), (100, 7), (9, 1)] {
+            let ranges = shard_ranges(nb, shards);
+            if nb == 0 {
+                assert!(ranges.is_empty());
+                continue;
+            }
+            assert_eq!(ranges.len(), shards.min(nb), "nb={nb} shards={shards}");
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous: nb={nb} shards={shards}");
+                assert!(!r.is_empty(), "no empty shard: nb={nb} shards={shards}");
+                next = r.end;
+            }
+            assert_eq!(next, nb, "full cover: nb={nb} shards={shards}");
+            let lens: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "near-even: {lens:?}");
+        }
     }
 
     /// A finished store as raw bytes, plus each block's (offset, len).

@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use telemetry::{bucket_bounds, HistRec, Snapshot};
+use telemetry::{HistRec, Snapshot};
 
 use crate::SoakConfig;
 
@@ -163,19 +163,7 @@ impl SoakReport {
 /// observed max, which is exact). Returns `None` for an empty histogram.
 #[must_use]
 pub fn percentile_us(h: &HistRec, q: f64) -> Option<u64> {
-    if h.count == 0 {
-        return None;
-    }
-    let rank = ((h.count as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, &c) in h.buckets.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            let (_, upper) = bucket_bounds(i);
-            return Some(upper.map_or(h.max, |u| u.min(h.max)));
-        }
-    }
-    Some(h.max)
+    h.percentile_us(q)
 }
 
 /// Evaluates gates and assembles the report from the run's raw outcome

@@ -602,6 +602,30 @@ pub struct HistRec {
     pub buckets: Vec<u64>,
 }
 
+impl HistRec {
+    /// The value at or below which a fraction `q` of observations fall,
+    /// resolved to the histogram's bucket upper bounds (clamped to the
+    /// observed max, which is exact). Returns `None` for an empty
+    /// histogram. This is the latency-SLO primitive both the soak and
+    /// cache-server reports derive p50/p99 from.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, upper) = bucket_bounds(i);
+                return Some(upper.map_or(self.max, |u| u.min(self.max)));
+            }
+        }
+        Some(self.max)
+    }
+}
+
 /// A point-in-time copy of everything the recorder holds.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {

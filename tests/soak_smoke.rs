@@ -3,6 +3,8 @@
 //! property the CI `soak-smoke` job diffs across thread counts), and an
 //! impossible SLO gate fails the run with the corruption exit code.
 
+mod common;
+
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -11,9 +13,7 @@ use std::sync::Mutex;
 static SOAK_LOCK: Mutex<()> = Mutex::new(());
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("pastri-soak-smoke-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    common::tmpdir(&format!("soak-smoke-{name}"))
 }
 
 fn small_storm(dir: &Path, seed: u64) -> soak::SoakConfig {
