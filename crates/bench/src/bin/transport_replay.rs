@@ -1,0 +1,94 @@
+//! Fixed-seed wire-transport replay, emitted as `BENCH_transport.json`.
+//!
+//! One sequential client reads seeded batches from two replica servers
+//! through the deterministic transport fault proxy (every wire fault
+//! class in rotation: truncated frames, corrupted frames, dropped
+//! connections, stalls past the attempt budget, transient resets),
+//! recovering with the bounded retry/hedge state machine. Because the
+//! client is sequential, the *entire* run is a pure function of the
+//! seed: the report's `tallies` line (requests, blocks, folded value
+//! signature) and the per-class proxy fault counts are bit-identical
+//! from run to run, machine to machine, and at any `RAYON_NUM_THREADS`
+//! — CI diffs them textually. The `timing` section carries the
+//! run-varying RTT percentile.
+//!
+//! `PASTRI_BENCH_SCALE` multiplies the request budget like the other
+//! benches. Exits 2 on any lost or value-mismatched block, so CI gates
+//! on it exactly like `pastri soak --transport`.
+
+use bench::{bench_scale, print_header, print_row};
+
+fn main() {
+    let scale = bench_scale();
+    let dir = std::env::temp_dir().join(format!("pastri-bench-transport-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = soak::TransportStormConfig::storm(&dir, 42);
+    cfg.clients = 1; // sequential: the whole run is seed-pure
+    cfg.requests_per_client = ((64.0 * scale).round() as usize).max(16);
+    cfg.scale = 24;
+    // A healthy client keeps one connection, so faults only fire on
+    // reconnects: fault EVERY connection, capped at one full class
+    // rotation per replica (5), which the retry budget (10) plus the
+    // first clean reconnect exactly absorbs — all five classes fire on
+    // both replicas, then the proxies go transparent.
+    cfg.faults.faulty_every = 1;
+    cfg.faults.max_faults = 5;
+
+    println!(
+        "transport replay — seed {}, 1 client x {} requests over {} blocks, {} replicas, \
+         every {} connection faulted (cap {})\n",
+        cfg.seed,
+        cfg.requests_per_client,
+        cfg.scale,
+        cfg.replicas,
+        cfg.faults.faulty_every,
+        cfg.faults.max_faults
+    );
+
+    let report = soak::run_transport(&cfg).expect("transport replay run");
+    let t = &report.tallies;
+    let r = &report.recovery;
+    let p = &report.proxy;
+
+    let widths = [28usize, 20];
+    print_header(&["metric", "value"], &widths);
+    for (name, v) in [
+        ("requests planned", t.requests_planned.to_string()),
+        ("requests ok", t.requests_ok.to_string()),
+        ("blocks requested", t.blocks_requested.to_string()),
+        ("blocks served", t.blocks_served.to_string()),
+        ("lost blocks", t.lost_blocks.to_string()),
+        ("value mismatches", t.value_mismatches.to_string()),
+        ("value signature", format!("{:016x}", t.value_sig)),
+        ("proxy connections", p.conns.to_string()),
+        ("frames truncated", p.truncates.to_string()),
+        ("frames corrupted", p.corrupts.to_string()),
+        ("connections dropped", p.drops.to_string()),
+        ("stalls injected", p.stalls.to_string()),
+        ("resets injected", p.resets.to_string()),
+        ("client retries", r.retries.to_string()),
+        ("client hedges", r.hedges.to_string()),
+        ("frame errors seen", r.frame_errors.to_string()),
+        ("deadline misses", r.deadline_exceeded.to_string()),
+        (
+            "rpc p99 (us)",
+            report.rpc_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ),
+    ] {
+        print_row(&[name.to_string(), v], &widths);
+    }
+
+    std::fs::write("BENCH_transport.json", report.to_json(&cfg))
+        .expect("writing BENCH_transport.json");
+    println!("\nwrote BENCH_transport.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !report.zero_data_loss() {
+        eprintln!(
+            "transport replay FAILED: {} lost block(s), {} value mismatch(es)",
+            t.lost_blocks, t.value_mismatches
+        );
+        std::process::exit(2);
+    }
+}

@@ -59,6 +59,17 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value given for a repeatable flag, in order (e.g.
+    /// `--replica a --replica b`).
+    #[must_use]
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     /// Boolean switch presence.
     #[must_use]
     pub fn switch(&self, key: &str) -> bool {

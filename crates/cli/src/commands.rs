@@ -934,6 +934,10 @@ pub fn soak_cmd(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let telem = telemetry_capture(&args)?;
     let dir = args.positional(0, "dir")?;
 
+    if args.switch("transport") {
+        return soak_transport(&args, dir, out, telem);
+    }
+
     let defaults = soak::SoakConfig::storm(std::path::Path::new(dir), 42);
     let mut cfg = defaults;
     cfg.seed = args.get_usize("seed", 42)? as u64;
@@ -1063,6 +1067,117 @@ pub fn soak_cmd(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pastri soak --transport` — the client/server wire storm: replicated
+/// servers behind seeded fault proxies, concurrent remote clients,
+/// zero-loss accounting, and `rpc.*` SLO gates (DESIGN §13).
+fn soak_transport(
+    args: &Args,
+    dir: &str,
+    out: &mut dyn Write,
+    telem: Option<TelemetryCapture>,
+) -> Result<(), CliError> {
+    let mut cfg = soak::TransportStormConfig::storm(std::path::Path::new(dir), 42);
+    cfg.seed = args.get_usize("seed", 42)? as u64;
+    cfg.replicas = args.get_usize("replicas", cfg.replicas)?;
+    cfg.clients = args.get_usize("clients", cfg.clients)?;
+    cfg.requests_per_client = args.get_usize("requests", cfg.requests_per_client)?;
+    cfg.max_batch = args.get_usize("max-batch", cfg.max_batch)?;
+    cfg.scale = args.get_usize("scale", cfg.scale)?;
+    cfg.error_bound = args.get_f64("eb", cfg.error_bound)?;
+    cfg.faults.faulty_every =
+        args.get_usize("faulty-every", cfg.faults.faulty_every as usize)? as u32;
+    cfg.faults.max_faults = args.get_usize("max-faults", cfg.faults.max_faults as usize)? as u32;
+    cfg.slo = soak::TransportSloGates {
+        rpc_p99_us: args
+            .get("slo-rpc-p99-us")
+            .map(|_| args.get_usize("slo-rpc-p99-us", 0))
+            .transpose()?
+            .map(|v| v as u64),
+        max_deadline_exceeded: args
+            .get("slo-max-deadline-exceeded")
+            .map(|_| args.get_usize("slo-max-deadline-exceeded", 0))
+            .transpose()?
+            .map(|v| v as u64),
+        max_frame_errors: args
+            .get("slo-max-frame-errors")
+            .map(|_| args.get_usize("slo-max-frame-errors", 0))
+            .transpose()?
+            .map(|v| v as u64),
+    };
+    cfg.keep_artifacts = args.switch("keep");
+    let bench_out = args.get("bench-out").unwrap_or("BENCH_transport_soak.json");
+
+    let report = soak::run_transport(&cfg).map_err(|e| match e {
+        soak::SoakError::Config(m) => CliError::new(format!("soak: {m}")),
+        soak::SoakError::Io(io) => CliError::new(format!("soak: {io}")),
+    })?;
+
+    let t = &report.tallies;
+    let r = &report.recovery;
+    let p = &report.proxy;
+    writeln!(
+        out,
+        "soak --transport: seed {} — {} requests from {} clients over {} replicas, {:.2}s wall",
+        report.seed,
+        t.requests_planned,
+        cfg.clients,
+        cfg.replicas,
+        report.wall.as_secs_f64()
+    )?;
+    writeln!(
+        out,
+        "  served {} of {} blocks, value_sig {:016x}",
+        t.blocks_served, t.blocks_requested, t.value_sig
+    )?;
+    writeln!(
+        out,
+        "  wire faults: {} conns through proxies — {} truncates, {} corrupts, {} drops, {} stalls, {} resets",
+        p.conns, p.truncates, p.corrupts, p.drops, p.stalls, p.resets
+    )?;
+    writeln!(
+        out,
+        "  recovery: {} retries, {} hedges, {} frame errors, {} deadline misses",
+        r.retries, r.hedges, r.frame_errors, r.deadline_exceeded
+    )?;
+    for g in &report.gates {
+        writeln!(
+            out,
+            "  gate {:<24} threshold {:>12} actual {:>12}  {}",
+            g.gate,
+            format!("{}", g.threshold),
+            g.actual.map_or_else(|| "n/a".to_string(), |v| format!("{v}")),
+            if g.pass { "PASS" } else { "FAIL" }
+        )?;
+    }
+    fs::write(bench_out, report.to_json(&cfg))
+        .map_err(|e| CliError::new(format!("writing {bench_out}: {e}")))?;
+    writeln!(out, "  report: {bench_out}")?;
+    if let Some(tcap) = telem {
+        tcap.finish(out)?;
+    }
+
+    if !report.zero_data_loss() {
+        return Err(CliError::corruption(format!(
+            "soak --transport: DATA LOSS — {} block(s) lost, {} value mismatch(es)",
+            t.lost_blocks, t.value_mismatches
+        )));
+    }
+    if !report.all_gates_pass() {
+        let failed: Vec<&str> = report
+            .gates
+            .iter()
+            .filter(|g| !g.pass)
+            .map(|g| g.gate)
+            .collect();
+        return Err(CliError::corruption(format!(
+            "soak --transport: SLO gate(s) violated: {}",
+            failed.join(", ")
+        )));
+    }
+    writeln!(out, "soak --transport: PASS — zero loss over the wire, all gates hold")?;
+    Ok(())
+}
+
 /// Maps a [`eri_server::ServerError`] onto the CLI exit-code contract:
 /// corruption in a recognized store is exit 2, everything else (missing
 /// file, bad mount, out-of-range request) is the usage/I-O exit 1.
@@ -1113,7 +1228,11 @@ fn server_config(args: &Args) -> Result<eri_server::ServerConfig, CliError> {
 /// `pastri serve` — mount one or more stores behind the sharded cache
 /// server and serve a batched read in-process: the CLI face of
 /// [`eri_server::ServerHandle`]. With `--out`, the served blocks are
-/// written as raw little-endian f64 in request order.
+/// written as raw little-endian f64 in request order. With `--listen
+/// <tcp:HOST:PORT | unix:PATH>`, no local read happens: the mounted
+/// server is exposed over the PTRF wire protocol for `pastri fetch`
+/// (DESIGN §13) until interrupted, or for `--serve-conns N`
+/// connections when bounded serving is wanted (tests, one-shot jobs).
 pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let telem = telemetry_capture(&args)?;
@@ -1121,6 +1240,25 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let cfg = server_config(&args)?;
 
     let srv = eri_server::ServerHandle::open(&args.positional, &cfg).map_err(server_err)?;
+
+    if let Some(spec) = args.get("listen") {
+        let ep = eri_server::Endpoint::parse(spec)
+            .map_err(|e| CliError::new(format!("--listen: {e}")))?;
+        let tsrv = eri_server::TransportServer::bind(&ep, std::sync::Arc::new(srv))
+            .map_err(|e| CliError::new(format!("binding {ep}: {e}")))?;
+        writeln!(out, "serve: listening on {}", tsrv.local_endpoint())?;
+        out.flush()?;
+        let max_conns = args.get_usize("serve-conns", 0)?;
+        let served = tsrv
+            .run(if max_conns == 0 { None } else { Some(max_conns as u64) })
+            .map_err(|e| CliError::new(format!("serving on {}: {e}", tsrv.local_endpoint())))?;
+        writeln!(out, "serve: done after {served} connection(s)")?;
+        if let Some(tcap) = telem {
+            tcap.finish(out)?;
+        }
+        return Ok(());
+    }
+
     let ids = match args.get("blocks") {
         Some(spec) => parse_block_list(spec)?,
         None => (0..srv.num_blocks()).collect(),
@@ -1157,6 +1295,108 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "  {} decompressed bytes, cache {}/{} hits ({} resident bytes), {} repaired on read",
         served, s.hits, s.lookups, s.bytes, r.blocks_repaired
     )?;
+    if let Some(tcap) = telem {
+        tcap.finish(out)?;
+    }
+    Ok(())
+}
+
+/// Maps a [`eri_server::ClientError`] onto the CLI exit-code contract:
+/// damaged bytes (corrupt frames beyond the retry budget, corrupt
+/// blocks) are exit 2; refused connections, blown deadlines, and
+/// protocol/usage trouble are exit 1.
+fn client_err(e: eri_server::ClientError) -> CliError {
+    if e.is_corruption() {
+        CliError::corruption(format!("fetch: {e}"))
+    } else {
+        CliError::new(format!("fetch: {e}"))
+    }
+}
+
+/// `pastri fetch` — read blocks from a `pastri serve --listen` endpoint
+/// over the PTRF wire protocol, with deadlines, bounded seeded-jitter
+/// retry, and hedged failover across `--replica` endpoints (DESIGN
+/// §13). Exit contract: 0 all blocks served, 1 unreachable/deadline,
+/// 2 corruption (wire frames or stored blocks) that outlived the retry
+/// budget.
+pub fn fetch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let telem = telemetry_capture(&args)?;
+    let primary = args.positional(0, "endpoint")?;
+
+    let mut replicas = vec![eri_server::Endpoint::parse(primary)
+        .map_err(|e| CliError::new(format!("<endpoint>: {e}")))?];
+    for spec in args.get_all("replica") {
+        replicas.push(
+            eri_server::Endpoint::parse(spec)
+                .map_err(|e| CliError::new(format!("--replica: {e}")))?,
+        );
+    }
+
+    let mut cfg = eri_server::ClientConfig::default();
+    cfg.deadline =
+        std::time::Duration::from_millis(args.get_usize("deadline-ms", 5000)?.max(1) as u64);
+    cfg.attempt_timeout = std::time::Duration::from_millis(
+        args.get_usize("attempt-ms", 1000)?.max(1) as u64,
+    );
+    cfg.retry.max_retries = args.get_usize("retries", cfg.retry.max_retries as usize)? as u32;
+    if let Some(seed) = args.get("seed") {
+        cfg.retry.jitter_seed = Some(seed.parse().map_err(|_| {
+            CliError::new(format!("--seed: `{seed}` is not an integer"))
+        })?);
+    }
+
+    let mut client = eri_server::RemoteClient::connect(&replicas, cfg).map_err(client_err)?;
+    let ids: Vec<u64> = match args.get("blocks") {
+        Some(spec) => parse_block_list(spec)?.into_iter().map(|i| i as u64).collect(),
+        None => (0..client.num_blocks()).collect(),
+    };
+
+    let started = std::time::Instant::now();
+    let blocks = client.read_blocks_strict(&ids).map_err(client_err)?;
+    let wall = started.elapsed().as_secs_f64();
+
+    if let Some(path) = args.get("out") {
+        let mut bytes = Vec::new();
+        for b in &blocks {
+            for v in b {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        fs::write(path, &bytes).map_err(|e| CliError::new(format!("writing {path}: {e}")))?;
+        writeln!(out, "fetch: wrote {} bytes to {path}", bytes.len())?;
+    }
+
+    let served: usize = blocks.iter().map(|b| b.len() * 8).sum();
+    let cs = client.stats();
+    writeln!(
+        out,
+        "fetch: {} block(s) ({} bytes) from {} replica(s) in {:.3}s",
+        blocks.len(),
+        served,
+        replicas.len(),
+        wall
+    )?;
+    writeln!(
+        out,
+        "  recovery: {} retries, {} hedges, {} frame errors, {} deadline misses",
+        cs.retries, cs.hedges, cs.frame_errors, cs.deadline_exceeded
+    )?;
+    if args.switch("stats") {
+        let ws = client.server_stats().map_err(client_err)?;
+        writeln!(
+            out,
+            "  server: {} requests, {} blocks, {} store reads, {} transient retries, \
+             {} repaired, cache {}/{} hits",
+            ws.requests,
+            ws.blocks,
+            ws.store_reads,
+            ws.transient_retries,
+            ws.blocks_repaired,
+            ws.cache_hits,
+            ws.cache_hits + ws.cache_misses
+        )?;
+    }
     if let Some(tcap) = telem {
         tcap.finish(out)?;
     }

@@ -16,7 +16,10 @@
 //! * `report`     — re-render a saved `--telemetry json` capture as the
 //!   human-readable summary tree
 //! * `serve`      — mount ERI stores behind the sharded cache server and
-//!   serve a batched block read
+//!   serve a batched block read, or expose them over the PTRF wire
+//!   protocol with `--listen`
+//! * `fetch`      — read blocks from a `serve --listen` endpoint with
+//!   deadlines, bounded retry, and hedged replica failover
 //! * `bench-server` — seeded traffic replay against the cache server,
 //!   emitting BENCH_server.json
 //!
@@ -96,6 +99,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "report" => commands::report(rest, out),
         "soak" => commands::soak_cmd(rest, out),
         "serve" => commands::serve(rest, out),
+        "fetch" => commands::fetch(rest, out),
         "bench-server" => commands::bench_server(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
@@ -130,6 +134,10 @@ USAGE:
                     [--seconds S] [--bench-out BENCH_soak.json] [--keep]
   pastri serve      <store.eristore>... [--blocks 0,3,7-9] [--out raw.f64]
                     [--shards 4] [--cache-mb 8] [--cache-shards 8]
+                    [--listen (tcp:HOST:PORT|unix:PATH) [--serve-conns N]]
+  pastri fetch      <endpoint> [--replica ENDPOINT]... [--blocks 0,3,7-9]
+                    [--out raw.f64] [--deadline-ms 5000] [--attempt-ms 1000]
+                    [--retries 8] [--seed N] [--stats]
   pastri bench-server <store.eristore> [--gen-blocks N] [--seed 42]
                     [--clients 4] [--requests 256] [--max-batch 8]
                     [--skew 3.0] [--shards 4] [--cache-mb 8]
@@ -190,6 +198,17 @@ CACHE SERVER (`serve` / `bench-server`):
   and `timing` carry the scheduling-dependent hit rate and latency
   percentiles. --gen-blocks N synthesizes the store first.
 
+REMOTE SERVING (`serve --listen` / `fetch`):
+  `pastri serve --listen tcp:127.0.0.1:7421` (or `unix:/path.sock`)
+  exposes the mounted server over the CRC32-framed PTRF protocol;
+  `--serve-conns N` exits cleanly after N connections (one-shot jobs,
+  tests). `pastri fetch tcp:HOST:PORT` reads blocks remotely under a
+  whole-call deadline with bounded seeded-jitter retry; each extra
+  `--replica` endpoint (serving the same dataset) joins the hedged
+  failover rotation, so a dead or stalling replica costs one attempt,
+  not the deadline. Corrupt frames or blocks that outlive the retry
+  budget exit 2; unreachable endpoints and blown deadlines exit 1.
+
 SELF-HEALING:
   Containers carry Reed-Solomon parity by default (v3): up to 2 damaged
   blocks per group of 8 rebuild bit-exact. `verify` classifies damage as
@@ -204,5 +223,5 @@ EXIT CODES:
      recognized artifact; scrub could not fully repair, or found damage
      without --repair; salvage dropped data; soak lost data or violated
      an SLO gate; serve/bench-server hit a block beyond the parity
-     budget)"
+     budget; fetch saw corrupt frames or blocks past the retry budget)"
 }

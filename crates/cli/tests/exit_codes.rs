@@ -377,6 +377,110 @@ fn exit_codes_follow_the_documented_contract() {
     );
 }
 
+/// Remote-serving rows of the exit-code contract: `serve --listen` and
+/// `fetch` (DESIGN §13). Servers run the real CLI entry point on
+/// background threads, bounded by `--serve-conns` so they exit 0 once
+/// the table has consumed their connections.
+#[test]
+fn transport_exit_codes_follow_the_documented_contract() {
+    let dir = tmpdir("transport-exit-codes");
+    let store = p(&dir, "wire.eristore");
+    build_server_store(&store, 12);
+    let fetched = p(&dir, "fetched.f64");
+
+    // `serve --listen` clean exit 0: serves exactly one connection.
+    let sock = p(&dir, "clean.sock");
+    let serve_argv = sv(&[
+        "serve", &store, "--listen", &format!("unix:{sock}"), "--serve-conns", "1",
+    ]);
+    let server = std::thread::spawn(move || exit_code(&serve_argv));
+    wait_for_path(&sock);
+
+    // `fetch` clean exit 0 (one connection, all blocks, written out).
+    let fetch_clean = exit_code(&sv(&[
+        "fetch", &format!("unix:{sock}"), "--out", &fetched, "--stats",
+    ]));
+    assert_eq!(fetch_clean, 0, "fetch against a live server is exit 0");
+    assert_eq!(
+        fs::read(&fetched).unwrap().len(),
+        12 * 4 * 16 * 8,
+        "every block fetched"
+    );
+    assert_eq!(server.join().unwrap(), 0, "bounded serve --listen is exit 0");
+
+    // Connection refused: nobody serves this path. Exit 1, not a hang.
+    let refused = exit_code(&sv(&[
+        "fetch", &format!("unix:{}", p(&dir, "nobody.sock")),
+        "--retries", "1", "--deadline-ms", "500",
+    ]));
+    assert_eq!(refused, 1, "unreachable endpoint is exit 1");
+
+    // Deadline exceeded: a listener that never speaks. The whole-call
+    // deadline must cut it off with exit 1.
+    let mute = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let mute_addr = mute.local_addr().unwrap();
+    let deadline = exit_code(&sv(&[
+        "fetch", &format!("tcp:{mute_addr}"),
+        "--deadline-ms", "400", "--attempt-ms", "100", "--retries", "100",
+    ]));
+    assert_eq!(deadline, 1, "a blown deadline is exit 1");
+    drop(mute);
+
+    // Corrupt frames beyond the retry budget: every connection through
+    // the fault proxy flips a bit past the Hello frame, so each attempt
+    // dies on a CRC mismatch. --retries 2 → exactly 3 connections, then
+    // exit 2 (the bytes were damaged, not merely unavailable).
+    // (Library-layer server here: the table needs its ephemeral TCP
+    // port before `run` returns, which the CLI only prints at exit.)
+    let store2 = store.clone();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let cfg = eri_server::ServerConfig::default();
+        let handle = eri_server::ServerHandle::open(&[&store2], &cfg).unwrap();
+        let srv = eri_server::TransportServer::bind(
+            &eri_server::Endpoint::parse("tcp:127.0.0.1:0").unwrap(),
+            std::sync::Arc::new(handle),
+        )
+        .unwrap();
+        let eri_server::Endpoint::Tcp(addr) = srv.local_endpoint() else { unreachable!() };
+        addr_tx.send(addr).unwrap();
+        srv.run(Some(3)).unwrap()
+    });
+    let upstream = addr_rx.recv().unwrap();
+    let proxy = faults::FaultyProxy::start(
+        &upstream,
+        0xC11,
+        faults::ProxyFaultConfig {
+            faulty_every: 1,
+            classes: vec![faults::WireFault::Corrupt],
+            max_faults: u32::MAX,
+            offset_base: 60,
+            offset_window: 800,
+            ..faults::ProxyFaultConfig::default()
+        },
+    )
+    .unwrap();
+    let corrupt = exit_code(&sv(&[
+        "fetch", &format!("tcp:{}", proxy.addr()),
+        "--retries", "2", "--deadline-ms", "10000", "--blocks", "0-3",
+    ]));
+    assert_eq!(corrupt, 2, "corrupt frames past the retry budget are exit 2");
+    assert_eq!(server.join().unwrap(), 3, "all three attempts reached the server");
+    let tallies = proxy.stop();
+    assert!(tallies.corrupts >= 3, "{tallies:?}");
+}
+
+/// Polls (briefly) until a serve thread has bound its unix socket.
+fn wait_for_path(path: &str) {
+    for _ in 0..200 {
+        if Path::new(path).exists() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server never bound {path}");
+}
+
 /// Repeated quarantines of the same artifact must never clobber earlier
 /// evidence: the CLI picks `<file>.quarantine`, then `.quarantine.1`,
 /// `.quarantine.2`, … (satellite for `durable::fresh_quarantine_path`).

@@ -1,0 +1,476 @@
+//! Remote client for the PTRF transport: deadlines, bounded
+//! seeded-jitter retry, and hedged failover across replica mounts.
+//!
+//! The failure model (DESIGN §13) distinguishes three layers:
+//!
+//! * **Connection faults** — refused/reset/EOF/timeout. Always safe to
+//!   retry: block reads are idempotent, and every retry starts from a
+//!   fresh connection (a failed stream is never reused, because a
+//!   half-read frame leaves it desynchronized).
+//! * **Frame corruption** — CRC/magic/length violations. Counted as
+//!   `rpc.frame_errors`, then handled exactly like a connection fault:
+//!   reconnect and retry until the budget runs out, at which point the
+//!   caller gets [`ClientError::Frame`] (the CLI maps it to exit 2 —
+//!   the bytes were damaged, not merely unavailable).
+//! * **Per-block errors** — structured statuses inside an intact
+//!   response. *Not* retried here: the server already ran its own
+//!   repair-on-read and retry policy against the store; a corrupt
+//!   block is a property of the artifact, not of this connection.
+//!
+//! Retries draw their backoff from [`durable::retry::RetryPolicy`] —
+//! the same bounded exponential + seeded half-range jitter the store
+//! reader uses — so a storm of clients with distinct seeds decorrelates
+//! deterministically. When more than one replica endpoint is
+//! configured, each retry also *hedges*: it moves to the next replica
+//! in round-robin order (counted in `rpc.hedges`), so a dead or
+//! stalling replica costs one attempt, not the whole deadline.
+
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+use durable::retry::RetryPolicy;
+
+use crate::protocol::{
+    self, FrameError, Hello, Message, ReadRequest, WireBlock, WireStats, PROTO_VERSION,
+};
+pub use crate::protocol::BlockErrorKind;
+use crate::transport::{Conn, Endpoint};
+
+/// Client tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Whole-call budget for one `read_blocks` / `server_stats`,
+    /// covering every retry, backoff sleep, and reconnect within it.
+    pub deadline: Duration,
+    /// Budget for one attempt's socket reads/writes (further capped by
+    /// the remaining deadline). Strictly smaller than `deadline` or a
+    /// single stalled replica eats the whole call with no budget left
+    /// to retry or hedge.
+    pub attempt_timeout: Duration,
+    /// Budget for establishing one TCP connection (further capped by
+    /// the remaining deadline).
+    pub connect_timeout: Duration,
+    /// Retry/backoff schedule (attempt budget = `max_retries`).
+    pub retry: RetryPolicy,
+    /// Fail over to the next replica on each retry when more than one
+    /// endpoint is configured.
+    pub hedge: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline: Duration::from_secs(5),
+            attempt_timeout: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
+            hedge: true,
+        }
+    }
+}
+
+/// One block that could not be served, with the server's structured
+/// classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockError {
+    /// Global block id.
+    pub block: u64,
+    pub kind: BlockErrorKind,
+    pub message: String,
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block {} [{}]: {}", self.block, self.kind, self.message)
+    }
+}
+
+/// Why a whole call failed (per-block failures surface as
+/// [`BlockError`] instead, leaving sibling blocks intact).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection-level failure that outlived the retry budget.
+    Io(io::Error),
+    /// The whole-call deadline elapsed (covers stalls past deadline).
+    DeadlineExceeded { elapsed: Duration },
+    /// Frame corruption that outlived the retry budget.
+    Frame(String),
+    /// The peer spoke the protocol wrong (version/geometry mismatch,
+    /// response to a request never sent).
+    Protocol(String),
+    /// Strict-mode wrapper for the first per-block error in a batch.
+    Block(BlockError),
+    /// Client misconfiguration (e.g. no replicas).
+    Config(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport i/o: {e}"),
+            ClientError::DeadlineExceeded { elapsed } => {
+                write!(f, "deadline exceeded after {:.1} ms", elapsed.as_secs_f64() * 1e3)
+            }
+            ClientError::Frame(msg) => write!(f, "corrupt frame: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Block(b) => write!(f, "{b}"),
+            ClientError::Config(msg) => write!(f, "client config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Exit-2 classification, mirroring `ServerError::is_corruption`:
+    /// damaged bytes (frames or stored blocks) are the artifact's
+    /// fault; refused connections and blown deadlines are exit 1.
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            ClientError::Frame(_) => true,
+            ClientError::Block(b) => b.kind == BlockErrorKind::Corruption,
+            _ => false,
+        }
+    }
+}
+
+/// Client-side recovery counters (also mirrored into the `rpc.*`
+/// telemetry names when the recorder is enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Calls that completed successfully.
+    pub requests: u64,
+    /// Re-attempts after a failed attempt (any cause).
+    pub retries: u64,
+    /// Re-attempts that switched to another replica.
+    pub hedges: u64,
+    /// Calls abandoned at the whole-call deadline.
+    pub deadline_exceeded: u64,
+    /// Corrupt frames detected (each also forced a reconnect).
+    pub frame_errors: u64,
+}
+
+/// What one attempt can fail with (classified for retry accounting).
+enum AttemptError {
+    Io(io::Error),
+    Timeout,
+    CorruptFrame(String),
+    Protocol(String),
+}
+
+impl AttemptError {
+    fn from_frame(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(ioe) => AttemptError::from_io(ioe),
+            other => AttemptError::CorruptFrame(other.to_string()),
+        }
+    }
+
+    fn from_io(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => AttemptError::Timeout,
+            _ => AttemptError::Io(e),
+        }
+    }
+}
+
+/// A connected, failover-capable client over one or more replica
+/// endpoints serving the *same* dataset (enforced via `Hello`).
+pub struct RemoteClient {
+    replicas: Vec<Endpoint>,
+    cfg: ClientConfig,
+    conns: Vec<Option<Conn>>,
+    hello: Hello,
+    /// Replica index new calls start at (sticky: moves on failover).
+    primary: usize,
+    next_request_id: u64,
+    stats: ClientStats,
+}
+
+impl RemoteClient {
+    /// Connects to the first reachable replica and records its
+    /// [`Hello`]; every replica connected later must present an
+    /// identical identity (same block count, geometry, error bound) or
+    /// it is rejected as a protocol violation.
+    pub fn connect(replicas: &[Endpoint], cfg: ClientConfig) -> Result<Self, ClientError> {
+        if replicas.is_empty() {
+            return Err(ClientError::Config("no replica endpoints".into()));
+        }
+        // The handshake gets the same bounded retry discipline as block
+        // reads: a transient reset while connecting is a connection
+        // fault, not a verdict on the replica set.
+        let start = Instant::now();
+        let mut last: Option<AttemptError> = None;
+        let mut retries = 0u64;
+        for attempt in 0..=cfg.retry.max_retries {
+            for (i, ep) in replicas.iter().enumerate() {
+                let Some(remaining) = cfg.deadline.checked_sub(start.elapsed()) else { break };
+                match open_conn(ep, &cfg, remaining) {
+                    Ok((conn, hello)) => {
+                        let mut conns: Vec<Option<Conn>> =
+                            (0..replicas.len()).map(|_| None).collect();
+                        conns[i] = Some(conn);
+                        return Ok(RemoteClient {
+                            replicas: replicas.to_vec(),
+                            cfg,
+                            conns,
+                            hello,
+                            primary: i,
+                            next_request_id: 1,
+                            stats: ClientStats { retries, ..ClientStats::default() },
+                        });
+                    }
+                    Err(e) => {
+                        last = Some(e);
+                        retries += 1;
+                        telemetry::counter_add("rpc.retries", 1);
+                    }
+                }
+            }
+            let Some(remaining) = cfg.deadline.checked_sub(start.elapsed()) else { break };
+            let backoff = cfg.retry.backoff_for(attempt).min(remaining);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+        Err(match last.expect("at least one replica attempted") {
+            AttemptError::Io(e) => ClientError::Io(e),
+            AttemptError::Timeout => {
+                ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, "connect timed out"))
+            }
+            AttemptError::CorruptFrame(msg) => ClientError::Frame(msg),
+            AttemptError::Protocol(msg) => ClientError::Protocol(msg),
+        })
+    }
+
+    /// The server identity from the handshake.
+    #[must_use]
+    pub fn hello(&self) -> Hello {
+        self.hello
+    }
+
+    /// Total blocks the mounted dataset serves.
+    #[must_use]
+    pub fn num_blocks(&self) -> u64 {
+        self.hello.num_blocks
+    }
+
+    /// Client-side recovery counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Reads a batch of blocks. Per-block failures come back as
+    /// structured [`BlockError`]s in their own positions — degraded,
+    /// not dead. Whole-call failures (deadline, retry budget) are the
+    /// `Err` side.
+    pub fn read_blocks(
+        &mut self,
+        ids: &[u64],
+    ) -> Result<Vec<Result<Vec<f64>, BlockError>>, ClientError> {
+        let rq_ids = ids.to_vec();
+        // Advisory deadline for the server's write budget.
+        let deadline_ms = u32::try_from(self.cfg.deadline.as_millis()).unwrap_or(u32::MAX);
+        let reply = self.roundtrip(&mut |request_id| {
+            Message::ReadRequest(ReadRequest { request_id, deadline_ms, ids: rq_ids.clone() })
+        })?;
+        let rs = match reply {
+            Message::ReadResponse(rs) => rs,
+            other => {
+                return Err(ClientError::Protocol(format!("unexpected reply {:?}", kind_of(&other))))
+            }
+        };
+        if rs.blocks.len() != ids.len() {
+            return Err(ClientError::Protocol(format!(
+                "response has {} blocks for {} requested",
+                rs.blocks.len(),
+                ids.len()
+            )));
+        }
+        Ok(rs
+            .blocks
+            .into_iter()
+            .zip(ids)
+            .map(|(b, &id)| match b {
+                WireBlock::Values(v) => Ok(v),
+                WireBlock::Error { kind, message } => {
+                    Err(BlockError { block: id, kind, message })
+                }
+            })
+            .collect())
+    }
+
+    /// [`RemoteClient::read_blocks`] that fails the whole call on the
+    /// first per-block error — the CLI's strict mode.
+    pub fn read_blocks_strict(&mut self, ids: &[u64]) -> Result<Vec<Vec<f64>>, ClientError> {
+        self.read_blocks(ids)?
+            .into_iter()
+            .map(|r| r.map_err(ClientError::Block))
+            .collect()
+    }
+
+    /// Fetches the server's serving/retry/repair counters.
+    pub fn server_stats(&mut self) -> Result<WireStats, ClientError> {
+        let reply = self.roundtrip(&mut |_| Message::StatsRequest)?;
+        match reply {
+            Message::StatsResponse(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("unexpected reply {:?}", kind_of(&other)))),
+        }
+    }
+
+    /// The deadline/retry/hedge state machine shared by every call.
+    fn roundtrip(
+        &mut self,
+        make: &mut dyn FnMut(u64) -> Message,
+    ) -> Result<Message, ClientError> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        let mut replica = self.primary;
+        let mut last: Option<AttemptError> = None;
+        loop {
+            let elapsed = start.elapsed();
+            let Some(remaining) = self.cfg.deadline.checked_sub(elapsed) else {
+                self.stats.deadline_exceeded += 1;
+                telemetry::counter_add("rpc.deadline_exceeded", 1);
+                // A timeout that exhausted the budget is the deadline
+                // story regardless of what the last attempt died of —
+                // unless the last thing we saw was corruption, which
+                // outranks it for exit classification.
+                if let Some(AttemptError::CorruptFrame(msg)) = last {
+                    return Err(ClientError::Frame(msg));
+                }
+                return Err(ClientError::DeadlineExceeded { elapsed });
+            };
+            let request_id = self.next_request_id;
+            self.next_request_id += 1;
+            let attempt_start = Instant::now();
+            match self.try_once(replica, remaining, &make(request_id), request_id) {
+                Ok(reply) => {
+                    let rtt = attempt_start.elapsed().as_micros() as u64;
+                    telemetry::observe_us("rpc.rtt_us", rtt);
+                    self.stats.requests += 1;
+                    self.primary = replica;
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    // A failed attempt leaves the stream in an unknown
+                    // state; never reuse it.
+                    if let Some(c) = self.conns[replica].take() {
+                        let _ = c.shutdown();
+                    }
+                    if let AttemptError::CorruptFrame(_) = &e {
+                        self.stats.frame_errors += 1;
+                        telemetry::counter_add("rpc.frame_errors", 1);
+                    }
+                    if attempt >= self.cfg.retry.max_retries {
+                        self.stats.deadline_exceeded +=
+                            u64::from(matches!(e, AttemptError::Timeout));
+                        if matches!(e, AttemptError::Timeout) {
+                            telemetry::counter_add("rpc.deadline_exceeded", 1);
+                        }
+                        return Err(match e {
+                            AttemptError::Io(ioe) => ClientError::Io(ioe),
+                            AttemptError::Timeout => {
+                                ClientError::DeadlineExceeded { elapsed: start.elapsed() }
+                            }
+                            AttemptError::CorruptFrame(msg) => ClientError::Frame(msg),
+                            AttemptError::Protocol(msg) => ClientError::Protocol(msg),
+                        });
+                    }
+                    self.stats.retries += 1;
+                    telemetry::counter_add("rpc.retries", 1);
+                    if self.cfg.hedge && self.replicas.len() > 1 {
+                        replica = (replica + 1) % self.replicas.len();
+                        self.stats.hedges += 1;
+                        telemetry::counter_add("rpc.hedges", 1);
+                    }
+                    let backoff = self.cfg.retry.backoff_for(attempt).min(remaining);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    last = Some(e);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One attempt against one replica within `remaining` budget.
+    fn try_once(
+        &mut self,
+        replica: usize,
+        remaining: Duration,
+        msg: &Message,
+        request_id: u64,
+    ) -> Result<Message, AttemptError> {
+        let budget = self.cfg.attempt_timeout.min(remaining).max(Duration::from_millis(1));
+        if self.conns[replica].is_none() {
+            let (conn, hello) = open_conn(&self.replicas[replica], &self.cfg, budget)?;
+            if hello != self.hello {
+                return Err(AttemptError::Protocol(format!(
+                    "replica {} serves a different dataset ({} blocks vs {})",
+                    self.replicas[replica], hello.num_blocks, self.hello.num_blocks
+                )));
+            }
+            self.conns[replica] = Some(conn);
+        }
+        let conn = self.conns[replica].as_mut().expect("just ensured");
+        conn.set_write_timeout(Some(budget)).map_err(AttemptError::from_io)?;
+        conn.set_read_timeout(Some(budget)).map_err(AttemptError::from_io)?;
+        protocol::write_frame(conn, msg).map_err(AttemptError::from_io)?;
+        conn.flush().map_err(AttemptError::from_io)?;
+        let reply = protocol::read_frame(conn).map_err(AttemptError::from_frame)?;
+        if let Message::ReadResponse(rs) = &reply {
+            if rs.request_id != request_id {
+                // Can only happen if the stream desynchronized; treat
+                // like corruption so it forces a clean reconnect.
+                return Err(AttemptError::CorruptFrame(format!(
+                    "response id {} for request {}",
+                    rs.request_id, request_id
+                )));
+            }
+        }
+        Ok(reply)
+    }
+}
+
+fn kind_of(msg: &Message) -> &'static str {
+    match msg {
+        Message::Hello(_) => "Hello",
+        Message::ReadRequest(_) => "ReadRequest",
+        Message::ReadResponse(_) => "ReadResponse",
+        Message::StatsRequest => "StatsRequest",
+        Message::StatsResponse(_) => "StatsResponse",
+    }
+}
+
+/// Connects and runs the handshake: the server speaks first with its
+/// `Hello` frame.
+fn open_conn(
+    ep: &Endpoint,
+    cfg: &ClientConfig,
+    remaining: Duration,
+) -> Result<(Conn, Hello), AttemptError> {
+    let connect_budget = cfg.connect_timeout.min(remaining).max(Duration::from_millis(1));
+    let mut conn = Conn::connect(ep, connect_budget).map_err(AttemptError::from_io)?;
+    conn.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+        .map_err(AttemptError::from_io)?;
+    let hello = match protocol::read_frame(&mut conn).map_err(AttemptError::from_frame)? {
+        Message::Hello(h) => h,
+        other => {
+            return Err(AttemptError::Protocol(format!(
+                "expected Hello, got {:?}",
+                kind_of(&other)
+            )))
+        }
+    };
+    if hello.version != PROTO_VERSION {
+        return Err(AttemptError::Protocol(format!(
+            "protocol version {} (client speaks {})",
+            hello.version, PROTO_VERSION
+        )));
+    }
+    Ok((conn, hello))
+}

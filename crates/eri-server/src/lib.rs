@@ -39,8 +39,10 @@
 //! generator behind BENCH_server.json).
 
 use std::fs::File;
+use std::io::{Read, Seek};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use eri_store::{shard_ranges, ReadStats, RetryPolicy, StoreError, StoreReader};
@@ -48,9 +50,32 @@ use pastri::BlockGeometry;
 use rayon::prelude::*;
 
 pub mod cache;
+pub mod client;
+pub mod protocol;
 pub mod replay;
+pub mod transport;
 
 pub use cache::{BlockCache, CacheStats};
+pub use client::{BlockError, BlockErrorKind, ClientConfig, ClientError, ClientStats, RemoteClient};
+pub use transport::{Endpoint, StopHandle, TransportServer};
+
+/// Byte source a shard reader can be built over. File-backed in
+/// production; tests substitute `faults::FaultyReader` (transient-retry
+/// parity) or a panicking reader (poison recovery).
+pub trait ShardSource: Read + Seek + Send {}
+impl<T: Read + Seek + Send> ShardSource for T {}
+
+/// Boxed shard source, as produced by an [`ServerHandle::open_with_sources`] factory.
+pub type BoxedSource = Box<dyn ShardSource>;
+
+/// Recovers a shard lock even if a previous holder panicked mid-read.
+/// The guarded state is a read-only file handle plus retry/repair
+/// counters — nothing is left half-written by an unwind — so serving
+/// must continue rather than brick the shard (the old `.unwrap()` here
+/// turned one injected panic into permanent `PoisonError`s).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Anything the server can fail with.
 #[derive(Debug)]
@@ -135,7 +160,24 @@ struct Shard {
     len: usize,
     /// The shard's range start *within its own store*.
     local_start: usize,
-    reader: Mutex<StoreReader<File>>,
+    reader: Mutex<StoreReader<BoxedSource>>,
+}
+
+/// Aggregated serving counters, independent of whether the global
+/// telemetry recorder is enabled. `reads` carries the transient-retry /
+/// repair attribution for the server miss path — the same numbers a
+/// direct `StoreReader` would have accumulated for the same reads (the
+/// differential battery asserts exact parity under injected faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Batches served via `read_blocks` / `read_blocks_each`.
+    pub requests: u64,
+    /// Block positions served (hits + misses).
+    pub blocks: u64,
+    /// Blocks that went to a store shard (cache misses, post-dedup).
+    pub store_reads: u64,
+    /// Transient-retry + repair counters summed across shard readers.
+    pub reads: ReadStats,
 }
 
 /// An open server: mounted stores, shard router, and hot-block cache.
@@ -149,6 +191,9 @@ pub struct ServerHandle {
     num_blocks: usize,
     stores: usize,
     compressed_bytes: u64,
+    served_requests: AtomicU64,
+    served_blocks: AtomicU64,
+    store_reads: AtomicU64,
 }
 
 impl ServerHandle {
@@ -157,6 +202,22 @@ impl ServerHandle {
     /// store must share one block geometry and error bound — a server
     /// serves one dataset, not a grab bag.
     pub fn open(paths: &[impl AsRef<Path>], cfg: &ServerConfig) -> Result<Self, ServerError> {
+        Self::open_with_sources(paths, cfg, &mut |path| {
+            File::open(path).map(|f| Box::new(f) as BoxedSource)
+        })
+    }
+
+    /// [`ServerHandle::open`] with an injectable byte-source factory:
+    /// `source_for(path)` is called once per probe and once per shard,
+    /// each call producing an independent seekable handle over that
+    /// store's bytes. Production uses plain `File`s; the differential
+    /// tests wrap files in seeded `FaultyReader`s (retry attribution
+    /// parity) or panic-once readers (shard-lock poison recovery).
+    pub fn open_with_sources(
+        paths: &[impl AsRef<Path>],
+        cfg: &ServerConfig,
+        source_for: &mut dyn FnMut(&Path) -> std::io::Result<BoxedSource>,
+    ) -> Result<Self, ServerError> {
         if paths.is_empty() {
             return Err(ServerError::Config("no stores to mount".into()));
         }
@@ -167,9 +228,15 @@ impl ServerHandle {
         let mut compressed_bytes = 0u64;
         for (si, path) in paths.iter().enumerate() {
             let path = path.as_ref();
-            let probe = StoreReader::open_with_retry(path, cfg.retry).map_err(|e| {
-                ServerError::Store { block: base, source: e }
-            })?;
+            let open_source = |e: std::io::Error, block: usize| ServerError::Store {
+                block,
+                source: StoreError::Io(e),
+            };
+            let probe = StoreReader::from_source(
+                source_for(path).map_err(|e| open_source(e, base))?,
+                cfg.retry,
+            )
+            .map_err(|e| ServerError::Store { block: base, source: e })?;
             match geometry {
                 None => {
                     geometry = Some(probe.geometry());
@@ -190,11 +257,10 @@ impl ServerHandle {
             for range in shard_ranges(nb, cfg.shards_per_store) {
                 // Each shard gets a private file handle so shard reads
                 // never serialize on one seek position.
-                let reader =
-                    StoreReader::open_with_retry(path, cfg.retry).map_err(|e| ServerError::Store {
-                        block: base + range.start,
-                        source: e,
-                    })?;
+                let source = source_for(path).map_err(|e| open_source(e, base + range.start))?;
+                let reader = StoreReader::from_source(source, cfg.retry).map_err(|e| {
+                    ServerError::Store { block: base + range.start, source: e }
+                })?;
                 shards.push(Shard {
                     global_start: base + range.start,
                     len: range.len(),
@@ -212,6 +278,9 @@ impl ServerHandle {
             num_blocks: base,
             stores: paths.len(),
             compressed_bytes,
+            served_requests: AtomicU64::new(0),
+            served_blocks: AtomicU64::new(0),
+            store_reads: AtomicU64::new(0),
         })
     }
 
@@ -271,13 +340,26 @@ impl ServerHandle {
     pub fn read_stats(&self) -> ReadStats {
         let mut total = ReadStats::default();
         for s in &self.shards {
-            let st = s.reader.lock().unwrap().read_stats();
+            let st = lock_recover(&s.reader).read_stats();
             total.transient_retries += st.transient_retries;
             total.backoff_micros += st.backoff_micros;
             total.blocks_repaired += st.blocks_repaired;
             total.blocks_dropped += st.blocks_dropped;
         }
         total
+    }
+
+    /// Serving counters plus the aggregated shard [`ReadStats`] — the
+    /// numbers `pastri serve` prints and the wire `StatsResponse`
+    /// carries, live whether or not telemetry is enabled.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.served_requests.load(Ordering::Relaxed),
+            blocks: self.served_blocks.load(Ordering::Relaxed),
+            store_reads: self.store_reads.load(Ordering::Relaxed),
+            reads: self.read_stats(),
+        }
     }
 
     /// Shard index serving global block `id` (ids are contiguous per
@@ -296,6 +378,7 @@ impl ServerHandle {
     /// deterministically), tagged with the global block id.
     pub fn read_blocks(&self, ids: &[usize]) -> Result<Vec<Arc<Vec<f64>>>, ServerError> {
         telemetry::counter_add("server.requests", 1);
+        self.served_requests.fetch_add(1, Ordering::Relaxed);
         let _batch = telemetry::span("server.batch");
         let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; ids.len()];
         let mut by_shard: Vec<Vec<(usize, usize)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -328,7 +411,56 @@ impl ServerHandle {
             }
         }
         telemetry::counter_add("server.blocks", ids.len() as u64);
+        self.served_blocks.fetch_add(ids.len() as u64, Ordering::Relaxed);
         Ok(out.into_iter().map(|b| b.expect("every position filled")).collect())
+    }
+
+    /// Degraded-mode batch: like [`ServerHandle::read_blocks`] but one
+    /// bad block never sinks the batch — every position gets its own
+    /// `Result`, so a corrupt or out-of-range block id yields a
+    /// structured per-position error while the rest of the batch is
+    /// served normally. This is the transport serving path: a remote
+    /// client asked for 64 blocks deserves 63 good blocks and one
+    /// per-block error frame, not a connection reset.
+    pub fn read_blocks_each(&self, ids: &[usize]) -> Vec<Result<Arc<Vec<f64>>, ServerError>> {
+        telemetry::counter_add("server.requests", 1);
+        self.served_requests.fetch_add(1, Ordering::Relaxed);
+        let _batch = telemetry::span("server.batch");
+        let mut out: Vec<Option<Result<Arc<Vec<f64>>, ServerError>>> =
+            (0..ids.len()).map(|_| None).collect();
+        let mut by_shard: Vec<Vec<(usize, usize)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (pos, &id) in ids.iter().enumerate() {
+            if id >= self.num_blocks {
+                out[pos] = Some(Err(ServerError::OutOfRange { index: id, blocks: self.num_blocks }));
+                continue;
+            }
+            let t = Instant::now();
+            match self.cache.get(id as u64) {
+                Some(hit) => {
+                    telemetry::observe_us("server.read_us", t.elapsed().as_micros() as u64);
+                    out[pos] = Some(Ok(hit));
+                }
+                None => by_shard[self.shard_of_block(id)].push((pos, id)),
+            }
+        }
+
+        let groups: Vec<(usize, Vec<(usize, usize)>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let fetched: Vec<Vec<(usize, Result<Arc<Vec<f64>>, ServerError>)>> = groups
+            .into_par_iter()
+            .map(|(sid, items)| self.fetch_from_shard_each(sid, &items))
+            .collect();
+        for group in fetched {
+            for (pos, res) in group {
+                out[pos] = Some(res);
+            }
+        }
+        telemetry::counter_add("server.blocks", ids.len() as u64);
+        self.served_blocks.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        out.into_iter().map(|b| b.expect("every position filled")).collect()
     }
 
     /// Convenience wrapper: one block.
@@ -336,17 +468,45 @@ impl ServerHandle {
         Ok(self.read_blocks(&[id])?.pop().expect("one result"))
     }
 
+    /// One cache-miss store read under the shard lock: repair-on-read
+    /// via `StoreReader::read_block`, telemetry, and strictly
+    /// post-repair cache admission (`read_block` only returns certified
+    /// — checksum-verified, parity-rebuilt if needed — values, so
+    /// nothing stale can be admitted).
+    fn read_miss(
+        &self,
+        shard: &Shard,
+        reader: &mut StoreReader<BoxedSource>,
+        id: usize,
+    ) -> Result<Arc<Vec<f64>>, ServerError> {
+        let t = Instant::now();
+        let local = id - shard.global_start + shard.local_start;
+        let values = reader
+            .read_block(local)
+            .map_err(|e| ServerError::Store { block: id, source: e })?;
+        let us = t.elapsed().as_micros() as u64;
+        telemetry::observe_us("server.miss_us", us);
+        telemetry::observe_us("server.read_us", us);
+        telemetry::counter_add("server.store_reads", 1);
+        self.store_reads.fetch_add(1, Ordering::Relaxed);
+        let block = Arc::new(values);
+        self.cache.insert(id as u64, Arc::clone(&block));
+        Ok(block)
+    }
+
     /// Fetches a batch's misses that all route to shard `sid`. Runs on
     /// a rayon worker; holds the shard lock across the group so one
     /// seek pass serves it. Duplicate ids within the group are read
-    /// once and fanned to every position.
+    /// once and fanned to every position. Fail-fast: the group stops at
+    /// its first error (lowest-shard-first determinism for
+    /// `read_blocks`).
     fn fetch_from_shard(
         &self,
         sid: usize,
         items: &[(usize, usize)],
     ) -> Result<FetchedBlocks, ServerError> {
         let shard = &self.shards[sid];
-        let mut reader = shard.reader.lock().unwrap();
+        let mut reader = lock_recover(&shard.reader);
         let mut got: FetchedBlocks = Vec::with_capacity(items.len());
         let mut this_batch: FetchedBlocks = Vec::new(); // id → block, tiny
         for &(pos, id) in items {
@@ -354,24 +514,42 @@ impl ServerHandle {
                 got.push((pos, Arc::clone(b)));
                 continue;
             }
-            let t = Instant::now();
-            let local = id - shard.global_start + shard.local_start;
-            let values = reader
-                .read_block(local)
-                .map_err(|e| ServerError::Store { block: id, source: e })?;
-            let us = t.elapsed().as_micros() as u64;
-            telemetry::observe_us("server.miss_us", us);
-            telemetry::observe_us("server.read_us", us);
-            telemetry::counter_add("server.store_reads", 1);
-            let block = Arc::new(values);
-            // Strictly post-repair: `read_block` only returns certified
-            // (checksum-verified, parity-rebuilt if needed) values, so
-            // nothing stale can be admitted.
-            self.cache.insert(id as u64, Arc::clone(&block));
+            let block = self.read_miss(shard, &mut reader, id)?;
             this_batch.push((id, Arc::clone(&block)));
             got.push((pos, block));
         }
         Ok(got)
+    }
+
+    /// Degraded sibling of [`ServerHandle::fetch_from_shard`]: an error
+    /// is recorded against its own position and the rest of the group
+    /// is still served. Duplicates of a *failed* id are re-read rather
+    /// than memoized — errors carry non-clonable I/O sources, and a
+    /// block that just failed may well heal on the retry path anyway.
+    fn fetch_from_shard_each(
+        &self,
+        sid: usize,
+        items: &[(usize, usize)],
+    ) -> Vec<(usize, Result<Arc<Vec<f64>>, ServerError>)> {
+        let shard = &self.shards[sid];
+        let mut reader = lock_recover(&shard.reader);
+        let mut got: Vec<(usize, Result<Arc<Vec<f64>>, ServerError>)> =
+            Vec::with_capacity(items.len());
+        let mut this_batch: FetchedBlocks = Vec::new();
+        for &(pos, id) in items {
+            if let Some((_, b)) = this_batch.iter().find(|(bid, _)| *bid == id) {
+                got.push((pos, Ok(Arc::clone(b))));
+                continue;
+            }
+            match self.read_miss(shard, &mut reader, id) {
+                Ok(block) => {
+                    this_batch.push((id, Arc::clone(&block)));
+                    got.push((pos, Ok(block)));
+                }
+                Err(e) => got.push((pos, Err(e))),
+            }
+        }
+        got
     }
 }
 

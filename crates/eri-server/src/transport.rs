@@ -1,0 +1,483 @@
+//! Socket transport for [`crate::ServerHandle`]: Unix-domain and TCP
+//! listeners speaking the PTRF frame protocol (see [`crate::protocol`]).
+//!
+//! Design rules (DESIGN §13):
+//!
+//! * **Never a hung connection.** The accept loop and every
+//!   per-connection handler poll a stop flag between frames (short read
+//!   timeouts), so `StopHandle::stop` tears the server down even with
+//!   clients mid-conversation — which is exactly how the differential
+//!   battery kills a replica mid-batch.
+//! * **Never a panic on hostile bytes.** A frame that fails magic,
+//!   length-cap, or CRC validation counts `rpc.frame_errors` and closes
+//!   the connection; the framing layer has already bounds-checked every
+//!   field, so nothing is decoded from a frame that wasn't proven
+//!   intact.
+//! * **Degraded, not dead.** Block reads go through
+//!   [`crate::ServerHandle::read_blocks_each`]: a corrupt block becomes
+//!   a structured per-block error in the response while its siblings
+//!   are served normally.
+//! * **Slow peers are bounded.** A client that sends half a frame and
+//!   stalls is cut off after `frame_timeout`, so one bad peer cannot
+//!   pin a handler thread forever.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{
+    self, BlockErrorKind, FrameError, FrameHeader, Hello, Message, ReadResponse, WireBlock,
+    WireStats, HEADER_LEN, PROTO_VERSION,
+};
+use crate::{ServerError, ServerHandle};
+
+/// Where a server listens / a client connects: `tcp:host:port` or
+/// `unix:/path/to.sock` (a bare `host:port` parses as TCP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint spec. Accepted forms: `tcp:HOST:PORT`,
+    /// `unix:PATH`, or a bare `HOST:PORT` (TCP).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(rest) = spec.strip_prefix("unix:") {
+            if rest.is_empty() {
+                return Err("empty unix socket path".into());
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(rest)));
+        }
+        let addr = spec.strip_prefix("tcp:").unwrap_or(spec);
+        if addr.is_empty() || !addr.contains(':') {
+            return Err(format!("bad endpoint {spec:?}: want tcp:HOST:PORT or unix:PATH"));
+        }
+        Ok(Endpoint::Tcp(addr.to_string()))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// One established connection, either family, with uniform timeout and
+/// shutdown control.
+pub enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to `ep`. TCP honors `timeout` for the connect itself;
+    /// Unix-domain connects are local and effectively immediate.
+    pub fn connect(ep: &Endpoint, timeout: Duration) -> io::Result<Conn> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let mut last = None;
+                for sa in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sa, timeout) {
+                        Ok(s) => {
+                            s.set_nodelay(true)?;
+                            return Ok(Conn::Tcp(s));
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(last.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "endpoint resolved to no address")
+                }))
+            }
+            Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// `None` blocks forever; `Some(d)` errors with `WouldBlock` /
+    /// `TimedOut` after `d`.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(d),
+            Conn::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Both),
+            Conn::Unix(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// Tunables for the serving loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How often idle handlers / the accept loop check the stop flag.
+    pub idle_poll: Duration,
+    /// Budget for finishing a frame once its first byte arrived — cuts
+    /// off peers that stall mid-frame.
+    pub frame_timeout: Duration,
+    /// Budget for writing a response back.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            idle_poll: Duration::from_millis(50),
+            frame_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Stops a running [`TransportServer`] from another thread: sets the
+/// flag, then pokes the listener so a blocked `accept` returns.
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    ep: Endpoint,
+}
+
+impl StopHandle {
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept(2); handlers notice the flag at their next
+        // idle poll. Connect failure is fine — the listener may
+        // already be gone.
+        if let Ok(c) = Conn::connect(&self.ep, Duration::from_millis(200)) {
+            let _ = c.shutdown();
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving transport server. `bind` then `run`;
+/// `run` returns once stopped (or after `max_conns` connections, which
+/// is how the CLI tests drive a bounded serve).
+pub struct TransportServer {
+    listener: Listener,
+    handle: Arc<ServerHandle>,
+    stop: Arc<AtomicBool>,
+    local: Endpoint,
+    opts: ServeOptions,
+    conns_served: AtomicU64,
+}
+
+impl TransportServer {
+    /// Binds `ep`. `tcp:127.0.0.1:0` picks an ephemeral port — read the
+    /// real one back with [`TransportServer::local_endpoint`]. A stale
+    /// Unix socket file at the path is removed first (it is only stale:
+    /// binding a live one would have failed anyway).
+    pub fn bind(ep: &Endpoint, handle: Arc<ServerHandle>) -> io::Result<Self> {
+        Self::bind_with(ep, handle, ServeOptions::default())
+    }
+
+    pub fn bind_with(
+        ep: &Endpoint,
+        handle: Arc<ServerHandle>,
+        opts: ServeOptions,
+    ) -> io::Result<Self> {
+        let (listener, local) = match ep {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let local: SocketAddr = l.local_addr()?;
+                (Listener::Tcp(l), Endpoint::Tcp(local.to_string()))
+            }
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                (Listener::Unix(UnixListener::bind(path)?), Endpoint::Unix(path.clone()))
+            }
+        };
+        Ok(TransportServer {
+            listener,
+            handle,
+            stop: Arc::new(AtomicBool::new(false)),
+            local,
+            opts,
+            conns_served: AtomicU64::new(0),
+        })
+    }
+
+    /// The endpoint actually bound (ephemeral TCP port resolved).
+    #[must_use]
+    pub fn local_endpoint(&self) -> Endpoint {
+        self.local.clone()
+    }
+
+    /// Handle for stopping this server from another thread.
+    #[must_use]
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle { stop: Arc::clone(&self.stop), ep: self.local.clone() }
+    }
+
+    /// Connections accepted so far.
+    #[must_use]
+    pub fn connections_served(&self) -> u64 {
+        self.conns_served.load(Ordering::Relaxed)
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match &self.listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+
+    /// Accepts and serves until stopped (or until `max_conns`
+    /// connections have been accepted). Each connection gets its own
+    /// handler thread; all handlers are joined before returning, so
+    /// when `run` returns the server is fully quiescent. Returns the
+    /// number of connections served.
+    pub fn run(&self, max_conns: Option<u64>) -> io::Result<u64> {
+        let mut handlers = Vec::new();
+        let mut accepted = 0u64;
+        while !self.stop.load(Ordering::SeqCst) {
+            if let Some(max) = max_conns {
+                if accepted >= max {
+                    break;
+                }
+            }
+            let conn = match self.accept() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                // The wake-up poke from StopHandle, not a client.
+                break;
+            }
+            accepted += 1;
+            self.conns_served.fetch_add(1, Ordering::Relaxed);
+            let handle = Arc::clone(&self.handle);
+            let stop = Arc::clone(&self.stop);
+            let opts = self.opts.clone();
+            handlers.push(std::thread::spawn(move || {
+                handle_conn(conn, &handle, &stop, &opts);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(accepted)
+    }
+
+    /// `run` on a background thread; returns the join handle. The
+    /// usual shape for tests and the soak storm:
+    /// `let stop = srv.stop_handle(); let jh = srv.spawn(None); …
+    /// stop.stop(); jh.join()`.
+    pub fn spawn(self: Arc<Self>, max_conns: Option<u64>) -> std::thread::JoinHandle<io::Result<u64>> {
+        std::thread::spawn(move || self.run(max_conns))
+    }
+}
+
+impl Drop for TransportServer {
+    fn drop(&mut self) {
+        if let Endpoint::Unix(path) = &self.local {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Reads one frame with stop-flag polling: waits for the first byte
+/// under `idle_poll` timeouts (checking `stop` between polls), then
+/// holds the peer to `frame_timeout` for the rest of the frame.
+/// Returns `Ok(None)` on clean EOF before a frame starts, or when
+/// stopped while idle.
+fn read_frame_polled(
+    conn: &mut Conn,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
+) -> Result<Option<Message>, FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        conn.set_read_timeout(Some(opts.idle_poll))?;
+        match conn.read(&mut first) {
+            Ok(0) => return Ok(None), // clean EOF between frames
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    // A frame has started: the rest must arrive within frame_timeout.
+    conn.set_read_timeout(Some(opts.frame_timeout))?;
+    let mut raw = [0u8; HEADER_LEN];
+    raw[0] = first[0];
+    conn.read_exact(&mut raw[1..])?;
+    let header = FrameHeader::parse(raw)?;
+    let mut body = vec![0u8; header.payload_len as usize + 4];
+    conn.read_exact(&mut body)?;
+    protocol::decode_frame(&header, &body).map(Some)
+}
+
+fn block_error(e: &ServerError) -> WireBlock {
+    let kind = match e {
+        ServerError::OutOfRange { .. } => BlockErrorKind::OutOfRange,
+        _ if e.is_corruption() => BlockErrorKind::Corruption,
+        _ => BlockErrorKind::Io,
+    };
+    WireBlock::Error { kind, message: e.to_string() }
+}
+
+fn wire_stats(handle: &ServerHandle) -> WireStats {
+    let s = handle.stats();
+    let c = handle.cache_stats();
+    WireStats {
+        requests: s.requests,
+        blocks: s.blocks,
+        store_reads: s.store_reads,
+        transient_retries: s.reads.transient_retries,
+        backoff_us: s.reads.backoff_micros,
+        blocks_repaired: s.reads.blocks_repaired,
+        blocks_dropped: s.reads.blocks_dropped,
+        cache_hits: c.hits,
+        cache_misses: c.misses,
+    }
+}
+
+fn handle_conn(mut conn: Conn, handle: &ServerHandle, stop: &AtomicBool, opts: &ServeOptions) {
+    let geom = handle.geometry();
+    let hello = Message::Hello(Hello {
+        version: PROTO_VERSION,
+        num_blocks: handle.num_blocks() as u64,
+        num_subblocks: geom.num_subblocks as u32,
+        subblock_size: geom.subblock_size as u32,
+        error_bound: handle.error_bound(),
+    });
+    if conn.set_write_timeout(Some(opts.write_timeout)).is_err()
+        || protocol::write_frame(&mut conn, &hello).is_err()
+        || conn.flush().is_err()
+    {
+        return;
+    }
+    loop {
+        let msg = match read_frame_polled(&mut conn, stop, opts) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(e) => {
+                if e.is_corrupt_frame() {
+                    // A corrupt inbound frame means the stream is not
+                    // trustworthy past this point: count it and drop
+                    // the connection so the client resynchronizes by
+                    // reconnecting.
+                    telemetry::counter_add("rpc.frame_errors", 1);
+                }
+                return;
+            }
+        };
+        let reply = match msg {
+            Message::ReadRequest(rq) => {
+                telemetry::counter_add("rpc.requests", 1);
+                let _span = telemetry::span("rpc.request");
+                let ids: Vec<usize> = rq.ids.iter().map(|&id| id as usize).collect();
+                let blocks = handle
+                    .read_blocks_each(&ids)
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(b) => WireBlock::Values(b.to_vec()),
+                        Err(e) => block_error(&e),
+                    })
+                    .collect();
+                Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks })
+            }
+            Message::StatsRequest => Message::StatsResponse(wire_stats(handle)),
+            // Only clients send these; a peer that does is broken.
+            Message::Hello(_) | Message::ReadResponse(_) | Message::StatsResponse(_) => return,
+        };
+        if protocol::write_frame(&mut conn, &reply).is_err() || conn.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse_both_families() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7070").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7070").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("no-port").is_err());
+        // Round-trips through Display.
+        for spec in ["tcp:127.0.0.1:7070", "unix:/tmp/x.sock"] {
+            let ep = Endpoint::parse(spec).unwrap();
+            assert_eq!(Endpoint::parse(&ep.to_string()).unwrap(), ep);
+        }
+    }
+}

@@ -29,6 +29,10 @@
 
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 
+pub mod proxy;
+
+pub use proxy::{FaultyProxy, ProxyFaultConfig, ProxyTallies, WireFault};
+
 /// What to inject. The default injects nothing — enable modes per test.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {

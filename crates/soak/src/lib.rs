@@ -50,8 +50,12 @@ use pastri::{BlockGeometry, Compressor};
 use rayon::prelude::*;
 
 pub mod report;
+pub mod transport;
 
 pub use report::{GateResult, SoakReport, Tallies};
+pub use transport::{
+    run_transport, TransportReport, TransportSloGates, TransportStormConfig, TransportTallies,
+};
 
 /// Relative weights of the operation kinds in the workload mix.
 #[derive(Debug, Clone, Copy)]
