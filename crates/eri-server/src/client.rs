@@ -55,6 +55,14 @@ pub struct ClientConfig {
     /// Fail over to the next replica on each retry when more than one
     /// endpoint is configured.
     pub hedge: bool,
+    /// Response-size budget one exchange may provision for:
+    /// `read_blocks` splits its id list into batches whose worst-case
+    /// `ReadResponse` fits this many payload bytes (always further
+    /// clamped to the protocol's hard `MAX_FRAME_PAYLOAD`), so a
+    /// whole-store fetch can never provoke a frame either side would
+    /// reject as oversized. Lower it to trade per-exchange latency for
+    /// memory; tests shrink it to force chunking on small data.
+    pub max_response_bytes: usize,
 }
 
 impl Default for ClientConfig {
@@ -65,6 +73,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(1),
             retry: RetryPolicy::default(),
             hedge: true,
+            max_response_bytes: protocol::MAX_FRAME_PAYLOAD as usize,
         }
     }
 }
@@ -234,13 +243,16 @@ impl RemoteClient {
                 std::thread::sleep(backoff);
             }
         }
-        Err(match last.expect("at least one replica attempted") {
-            AttemptError::Io(e) => ClientError::Io(e),
-            AttemptError::Timeout => {
+        Err(match last {
+            // Deadline elapsed before any attempt ran (e.g. a zero
+            // deadline): still a structured error, never a panic.
+            None => ClientError::DeadlineExceeded { elapsed: start.elapsed() },
+            Some(AttemptError::Io(e)) => ClientError::Io(e),
+            Some(AttemptError::Timeout) => {
                 ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, "connect timed out"))
             }
-            AttemptError::CorruptFrame(msg) => ClientError::Frame(msg),
-            AttemptError::Protocol(msg) => ClientError::Protocol(msg),
+            Some(AttemptError::CorruptFrame(msg)) => ClientError::Frame(msg),
+            Some(AttemptError::Protocol(msg)) => ClientError::Protocol(msg),
         })
     }
 
@@ -266,7 +278,36 @@ impl RemoteClient {
     /// structured [`BlockError`]s in their own positions — degraded,
     /// not dead. Whole-call failures (deadline, retry budget) are the
     /// `Err` side.
+    ///
+    /// Large id lists are split into chunks whose worst-case response
+    /// fits one frame under `max_response_bytes` (and the protocol's
+    /// hard cap), each chunk its own request/response exchange with its
+    /// own `deadline` — so fetching a whole store never asks the
+    /// server for a frame the protocol would reject as oversized.
     pub fn read_blocks(
+        &mut self,
+        ids: &[u64],
+    ) -> Result<Vec<Result<Vec<f64>, BlockError>>, ClientError> {
+        let values_per_block =
+            self.hello.num_subblocks as usize * self.hello.subblock_size as usize;
+        let per_batch = protocol::max_ids_per_read(values_per_block, self.cfg.max_response_bytes);
+        if per_batch == 0 {
+            return Err(ClientError::Config(format!(
+                "blocks of {values_per_block} values cannot fit one per frame under \
+                 {} payload bytes",
+                self.cfg.max_response_bytes.min(protocol::MAX_FRAME_PAYLOAD as usize)
+            )));
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(per_batch) {
+            out.extend(self.read_batch(chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// One request/response exchange for a batch already sized to fit
+    /// the frame budget.
+    fn read_batch(
         &mut self,
         ids: &[u64],
     ) -> Result<Vec<Result<Vec<f64>, BlockError>>, ClientError> {
@@ -473,4 +514,23 @@ fn open_conn(
         )));
     }
     Ok((conn, hello))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_deadline_connect_errors_instead_of_panicking() {
+        // A deadline that elapses before the first attempt must come
+        // back as a structured error (the old code hit an expect() on
+        // the never-filled `last` attempt error).
+        let cfg = ClientConfig { deadline: Duration::ZERO, ..ClientConfig::default() };
+        let ep = Endpoint::parse("tcp:127.0.0.1:9").unwrap();
+        let err = match RemoteClient::connect(&[ep], cfg) {
+            Ok(_) => panic!("zero-deadline connect cannot succeed"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ClientError::DeadlineExceeded { .. }), "{err}");
+    }
 }

@@ -52,6 +52,50 @@ pub const PROTO_VERSION: u32 = 1;
 pub const HEADER_LEN: usize = 12;
 /// Hard cap on payload length — reject before allocating.
 pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+/// Per-block error messages are clamped to this many bytes on the wire
+/// so a worst-case all-errors response still fits the batch budget
+/// computed by [`max_ids_per_read`].
+pub const MAX_BLOCK_ERROR_MESSAGE: usize = 256;
+
+/// Fixed `ReadResponse` payload overhead: request id (8) + count (4).
+const READ_RESPONSE_OVERHEAD: usize = 12;
+/// Fixed `ReadRequest` payload overhead: request id (8) + deadline (4)
+/// + count (4).
+const READ_REQUEST_OVERHEAD: usize = 16;
+
+/// How many block ids one `ReadRequest`/`ReadResponse` exchange can
+/// carry under `payload_cap` bytes of frame payload, for blocks of
+/// `values_per_block` f64 values. Sized for the worst case on both
+/// sides of the wire: 8 bytes per id in the request, and per response
+/// slot the larger of full values (1 + 4 + 8·values) or a clamped
+/// error message (1 + 4 + [`MAX_BLOCK_ERROR_MESSAGE`]). The client
+/// chunks its id lists with this and the server rejects batches past
+/// it, so neither side can be asked to encode a frame the other would
+/// refuse as [`FrameError::TooLarge`]. Returns 0 when even a single
+/// block cannot fit — callers must surface that as a config error.
+#[must_use]
+pub fn max_ids_per_read(values_per_block: usize, payload_cap: usize) -> usize {
+    let cap = payload_cap.min(MAX_FRAME_PAYLOAD as usize);
+    let per_slot = 5 + 8usize.saturating_mul(values_per_block).max(MAX_BLOCK_ERROR_MESSAGE);
+    let by_response = cap.saturating_sub(READ_RESPONSE_OVERHEAD) / per_slot;
+    let by_request = cap.saturating_sub(READ_REQUEST_OVERHEAD) / 8;
+    by_response.min(by_request)
+}
+
+/// Clamps a per-block error message to [`MAX_BLOCK_ERROR_MESSAGE`]
+/// bytes (cut on a char boundary) so the worst-case response size
+/// stays inside the [`max_ids_per_read`] budget.
+#[must_use]
+pub fn clamp_block_error_message(mut msg: String) -> String {
+    if msg.len() > MAX_BLOCK_ERROR_MESSAGE {
+        let mut cut = MAX_BLOCK_ERROR_MESSAGE;
+        while !msg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        msg.truncate(cut);
+    }
+    msg
+}
 
 /// Why a frame could not be read or decoded.
 #[derive(Debug)]
@@ -257,10 +301,15 @@ impl FrameHeader {
 }
 
 /// Encodes `msg` as one complete frame (header + payload + CRC).
-#[must_use]
-pub fn frame_bytes(msg: &Message) -> Vec<u8> {
+/// A payload past [`MAX_FRAME_PAYLOAD`] is a real
+/// [`FrameError::TooLarge`] — enforced here, at encode time, so an
+/// oversized message is never put on the wire for the peer to reject
+/// (and the `u32` length field can never silently truncate).
+pub fn frame_bytes(msg: &Message) -> Result<Vec<u8>, FrameError> {
     let payload = encode_payload(msg);
-    debug_assert!(payload.len() as u64 <= MAX_FRAME_PAYLOAD as u64);
+    if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+        return Err(FrameError::TooLarge(u32::try_from(payload.len()).unwrap_or(u32::MAX)));
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     out.extend_from_slice(&MAGIC);
     out.push(msg.kind());
@@ -269,12 +318,16 @@ pub fn frame_bytes(msg: &Message) -> Vec<u8> {
     out.extend_from_slice(&payload);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
-    out
+    Ok(out)
 }
 
-/// Writes one frame. Not flushed — callers batch then flush.
+/// Writes one frame. Not flushed — callers batch then flush. An
+/// oversized message surfaces as `InvalidData` before any byte is
+/// written.
 pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
-    w.write_all(&frame_bytes(msg))
+    let bytes = frame_bytes(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(&bytes)
 }
 
 /// Decodes a frame body (`payload ++ crc32`, exactly
@@ -489,7 +542,7 @@ mod tests {
     use super::*;
 
     fn round_trip(msg: &Message) {
-        let bytes = frame_bytes(msg);
+        let bytes = frame_bytes(msg).unwrap();
         let mut r = &bytes[..];
         let got = read_frame(&mut r).unwrap();
         assert_eq!(&got, msg);
@@ -555,7 +608,7 @@ mod tests {
             deadline_ms: 100,
             ids: vec![5, 6],
         });
-        let clean = frame_bytes(&msg);
+        let clean = frame_bytes(&msg).unwrap();
         for byte in 0..clean.len() {
             for bit in 0..8 {
                 let mut dirty = clean.clone();
@@ -578,7 +631,7 @@ mod tests {
             subblock_size: 16,
             error_bound: 1e-10,
         });
-        let clean = frame_bytes(&msg);
+        let clean = frame_bytes(&msg).unwrap();
         for cut in 0..clean.len() {
             let err = read_frame(&mut &clean[..cut]).unwrap_err();
             assert!(matches!(err, FrameError::Io(_)), "cut at {cut}: {err}");
@@ -588,7 +641,7 @@ mod tests {
     #[test]
     fn hostile_lengths_are_rejected_before_allocation() {
         // Payload length over the cap.
-        let mut frame = frame_bytes(&Message::StatsRequest);
+        let mut frame = frame_bytes(&Message::StatsRequest).unwrap();
         frame[8..12].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(
             read_frame(&mut &frame[..]).unwrap_err(),
@@ -600,7 +653,7 @@ mod tests {
         // A huge id count inside a tiny payload: rebuild the CRC so the
         // count check itself must catch it.
         let msg = Message::ReadRequest(ReadRequest { request_id: 1, deadline_ms: 1, ids: vec![] });
-        let mut frame = frame_bytes(&msg);
+        let mut frame = frame_bytes(&msg).unwrap();
         let count_off = HEADER_LEN + 8 + 4;
         frame[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let crc_off = frame.len() - 4;
@@ -614,17 +667,82 @@ mod tests {
 
     #[test]
     fn bad_magic_and_reserved_are_rejected() {
-        let mut frame = frame_bytes(&Message::StatsRequest);
+        let mut frame = frame_bytes(&Message::StatsRequest).unwrap();
         frame[0] = b'X';
         assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::BadMagic(_)));
 
-        let mut frame = frame_bytes(&Message::StatsRequest);
+        let mut frame = frame_bytes(&Message::StatsRequest).unwrap();
         frame[5] = 1;
         assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::BadReserved));
 
-        let mut frame = frame_bytes(&Message::StatsRequest);
+        let mut frame = frame_bytes(&Message::StatsRequest).unwrap();
         frame[4] = 9;
         assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::UnknownKind(9)));
+    }
+
+    #[test]
+    fn oversized_messages_fail_at_encode_time() {
+        // One values slot just past the payload cap: encoding must be
+        // a real TooLarge error (not a debug_assert), and write_frame
+        // must put nothing on the wire.
+        let values = (MAX_FRAME_PAYLOAD as usize - 12 - 5) / 8 + 1;
+        let msg = Message::ReadResponse(ReadResponse {
+            request_id: 1,
+            blocks: vec![WireBlock::Values(vec![0.0; values])],
+        });
+        assert!(matches!(frame_bytes(&msg).unwrap_err(), FrameError::TooLarge(_)));
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "no bytes written for an oversized frame");
+    }
+
+    #[test]
+    fn batch_sizing_keeps_worst_case_exchanges_under_the_cap() {
+        for (values, cap) in [
+            (1usize, 4096usize),
+            (128, 1 << 16),
+            (128, MAX_FRAME_PAYLOAD as usize),
+            (0, 1024),
+            // Caps past the protocol hard limit are clamped to it.
+            (128, usize::MAX),
+        ] {
+            let n = max_ids_per_read(values, cap);
+            let cap = cap.min(MAX_FRAME_PAYLOAD as usize);
+            assert!(n >= 1, "values={values} cap={cap} gives empty batches");
+            // Worst-case response: every slot an error with a clamped
+            // message, or every slot full values — whichever is wider.
+            let per_slot = 5 + (8 * values).max(MAX_BLOCK_ERROR_MESSAGE);
+            assert!(12 + n * per_slot <= cap, "values={values} cap={cap} n={n}");
+            assert!(16 + n * 8 <= cap, "request side: values={values} cap={cap} n={n}");
+            // And n is maximal: one more block would overflow a side.
+            assert!(
+                12 + (n + 1) * per_slot > cap || 16 + (n + 1) * 8 > cap,
+                "values={values} cap={cap} n={n} not maximal"
+            );
+        }
+        // A block too large to ever fit one frame yields 0, not a lie.
+        assert_eq!(max_ids_per_read(MAX_FRAME_PAYLOAD as usize, usize::MAX), 0);
+    }
+
+    #[test]
+    fn block_error_messages_clamp_on_char_boundaries() {
+        let short = clamp_block_error_message("fits".into());
+        assert_eq!(short, "fits");
+        // A multi-byte char straddling the cut must not split.
+        let long = format!("{}é{}", "x".repeat(MAX_BLOCK_ERROR_MESSAGE - 1), "y".repeat(64));
+        let clamped = clamp_block_error_message(long);
+        assert!(clamped.len() <= MAX_BLOCK_ERROR_MESSAGE);
+        assert_eq!(clamped, "x".repeat(MAX_BLOCK_ERROR_MESSAGE - 1));
+        // Clamped messages always encode within the per-slot budget.
+        let msg = Message::ReadResponse(ReadResponse {
+            request_id: 1,
+            blocks: vec![WireBlock::Error {
+                kind: BlockErrorKind::Io,
+                message: clamp_block_error_message("e".repeat(10_000)),
+            }],
+        });
+        assert!(frame_bytes(&msg).unwrap().len() <= 12 + 12 + 5 + MAX_BLOCK_ERROR_MESSAGE + 4);
     }
 
     #[test]
@@ -641,7 +759,7 @@ mod tests {
             request_id: 1,
             blocks: vec![WireBlock::Values(values.clone())],
         });
-        let got = read_frame(&mut &frame_bytes(&msg)[..]).unwrap();
+        let got = read_frame(&mut &frame_bytes(&msg).unwrap()[..]).unwrap();
         match got {
             Message::ReadResponse(rs) => match &rs.blocks[0] {
                 WireBlock::Values(v) => {

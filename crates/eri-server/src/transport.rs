@@ -17,9 +17,17 @@
 //!   [`crate::ServerHandle::read_blocks_each`]: a corrupt block becomes
 //!   a structured per-block error in the response while its siblings
 //!   are served normally.
-//! * **Slow peers are bounded.** A client that sends half a frame and
-//!   stalls is cut off after `frame_timeout`, so one bad peer cannot
-//!   pin a handler thread forever.
+//! * **Slow peers are bounded.** Once a frame's first byte arrives the
+//!   whole frame must land within `frame_timeout` — an *absolute*
+//!   deadline, so a peer trickling one byte per read cannot keep
+//!   resetting the clock — and handlers keep polling the stop flag
+//!   mid-frame, so one bad peer can neither pin a handler thread nor
+//!   stall server shutdown.
+//! * **Bounded responses.** A batch whose worst-case response would
+//!   not fit one `MAX_FRAME_PAYLOAD` frame degrades to structured
+//!   per-block errors instead of an oversized frame the client would
+//!   reject as corrupt (conforming clients chunk with
+//!   [`crate::protocol::max_ids_per_read`] and never trip this).
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,7 +35,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{
     self, BlockErrorKind, FrameError, FrameHeader, Hello, Message, ReadResponse, WireBlock,
@@ -211,9 +219,11 @@ pub struct TransportServer {
 
 impl TransportServer {
     /// Binds `ep`. `tcp:127.0.0.1:0` picks an ephemeral port — read the
-    /// real one back with [`TransportServer::local_endpoint`]. A stale
-    /// Unix socket file at the path is removed first (it is only stale:
-    /// binding a live one would have failed anyway).
+    /// real one back with [`TransportServer::local_endpoint`]. A Unix
+    /// socket path is reclaimed only if it holds a *stale* socket (a
+    /// probe connect finds nobody listening): a live server's socket
+    /// fails with `AddrInUse`, and a non-socket file is never removed
+    /// (`AlreadyExists`).
     pub fn bind(ep: &Endpoint, handle: Arc<ServerHandle>) -> io::Result<Self> {
         Self::bind_with(ep, handle, ServeOptions::default())
     }
@@ -231,7 +241,31 @@ impl TransportServer {
             }
             Endpoint::Unix(path) => {
                 if path.exists() {
-                    let _ = std::fs::remove_file(path);
+                    let ft = std::fs::symlink_metadata(path)?.file_type();
+                    if !std::os::unix::fs::FileTypeExt::is_socket(&ft) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AlreadyExists,
+                            format!(
+                                "{} exists and is not a socket; refusing to remove it",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    // Probe before unlinking: a socket that still
+                    // accepts connections belongs to a live server and
+                    // must not be stolen out from under it.
+                    match UnixStream::connect(path) {
+                        Ok(probe) => {
+                            drop(probe);
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("{} has a live server listening", path.display()),
+                            ));
+                        }
+                        // Nobody home: a leftover from an unclean
+                        // shutdown, safe to reclaim.
+                        Err(_) => std::fs::remove_file(path)?,
+                    }
                 }
                 (Listener::Unix(UnixListener::bind(path)?), Endpoint::Unix(path.clone()))
             }
@@ -280,9 +314,20 @@ impl TransportServer {
     /// when `run` returns the server is fully quiescent. Returns the
     /// number of connections served.
     pub fn run(&self, max_conns: Option<u64>) -> io::Result<u64> {
-        let mut handlers = Vec::new();
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut accepted = 0u64;
         while !self.stop.load(Ordering::SeqCst) {
+            // Reap handlers whose connections already hung up, so a
+            // long-lived serve doesn't hold one JoinHandle (and its
+            // thread's unreclaimed resources) per connection forever.
+            let mut i = 0;
+            while i < handlers.len() {
+                if handlers[i].is_finished() {
+                    let _ = handlers.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
             if let Some(max) = max_conns {
                 if accepted >= max {
                     break;
@@ -334,11 +379,49 @@ impl Drop for TransportServer {
     }
 }
 
+/// Fills `buf` under an absolute deadline, polling the stop flag
+/// between short socket timeouts. The budget covers the whole buffer,
+/// not each read(2) — a peer trickling one byte per poll still runs
+/// out of `deadline` — and a stopping server abandons the frame at the
+/// next poll instead of waiting the stall out.
+fn read_exact_deadline(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    deadline: Instant,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "server stopping mid-frame"));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "frame deadline exceeded"));
+        }
+        let slice = (deadline - now).min(opts.idle_poll).max(Duration::from_millis(1));
+        conn.set_read_timeout(Some(slice))?;
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-frame"))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Reads one frame with stop-flag polling: waits for the first byte
 /// under `idle_poll` timeouts (checking `stop` between polls), then
-/// holds the peer to `frame_timeout` for the rest of the frame.
-/// Returns `Ok(None)` on clean EOF before a frame starts, or when
-/// stopped while idle.
+/// holds the peer to an absolute `frame_timeout` deadline for the rest
+/// of the frame. Returns `Ok(None)` on clean EOF before a frame
+/// starts, or when stopped while idle.
 fn read_frame_polled(
     conn: &mut Conn,
     stop: &AtomicBool,
@@ -363,14 +446,15 @@ fn read_frame_polled(
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    // A frame has started: the rest must arrive within frame_timeout.
-    conn.set_read_timeout(Some(opts.frame_timeout))?;
+    // A frame has started: the *whole* frame must arrive before one
+    // absolute deadline, no matter how many reads it takes.
+    let deadline = Instant::now() + opts.frame_timeout;
     let mut raw = [0u8; HEADER_LEN];
     raw[0] = first[0];
-    conn.read_exact(&mut raw[1..])?;
+    read_exact_deadline(conn, &mut raw[1..], deadline, stop, opts)?;
     let header = FrameHeader::parse(raw)?;
     let mut body = vec![0u8; header.payload_len as usize + 4];
-    conn.read_exact(&mut body)?;
+    read_exact_deadline(conn, &mut body, deadline, stop, opts)?;
     protocol::decode_frame(&header, &body).map(Some)
 }
 
@@ -380,7 +464,7 @@ fn block_error(e: &ServerError) -> WireBlock {
         _ if e.is_corruption() => BlockErrorKind::Corruption,
         _ => BlockErrorKind::Io,
     };
-    WireBlock::Error { kind, message: e.to_string() }
+    WireBlock::Error { kind, message: protocol::clamp_block_error_message(e.to_string()) }
 }
 
 fn wire_stats(handle: &ServerHandle) -> WireStats {
@@ -401,6 +485,12 @@ fn wire_stats(handle: &ServerHandle) -> WireStats {
 
 fn handle_conn(mut conn: Conn, handle: &ServerHandle, stop: &AtomicBool, opts: &ServeOptions) {
     let geom = handle.geometry();
+    // The largest batch whose worst-case response still fits one frame;
+    // conforming clients chunk to the same bound.
+    let batch_cap = protocol::max_ids_per_read(
+        geom.num_subblocks * geom.subblock_size,
+        protocol::MAX_FRAME_PAYLOAD as usize,
+    );
     let hello = Message::Hello(Hello {
         version: PROTO_VERSION,
         num_blocks: handle.num_blocks() as u64,
@@ -433,15 +523,38 @@ fn handle_conn(mut conn: Conn, handle: &ServerHandle, stop: &AtomicBool, opts: &
             Message::ReadRequest(rq) => {
                 telemetry::counter_add("rpc.requests", 1);
                 let _span = telemetry::span("rpc.request");
-                let ids: Vec<usize> = rq.ids.iter().map(|&id| id as usize).collect();
-                let blocks = handle
-                    .read_blocks_each(&ids)
-                    .into_iter()
-                    .map(|r| match r {
-                        Ok(b) => WireBlock::Values(b.to_vec()),
-                        Err(e) => block_error(&e),
-                    })
-                    .collect();
+                let blocks = if rq.ids.len() > batch_cap {
+                    // The worst-case response would blow the frame cap:
+                    // degrade to per-block errors (explained once, in
+                    // the first slot — an all-messages response for a
+                    // maximal request would itself blow the cap)
+                    // instead of encoding an oversized frame the
+                    // client would have to reject as corrupt.
+                    (0..rq.ids.len())
+                        .map(|i| WireBlock::Error {
+                            kind: BlockErrorKind::Io,
+                            message: if i == 0 {
+                                format!(
+                                    "batch of {} blocks exceeds the {batch_cap}-block \
+                                     frame budget; split the request",
+                                    rq.ids.len()
+                                )
+                            } else {
+                                String::new()
+                            },
+                        })
+                        .collect()
+                } else {
+                    let ids: Vec<usize> = rq.ids.iter().map(|&id| id as usize).collect();
+                    handle
+                        .read_blocks_each(&ids)
+                        .into_iter()
+                        .map(|r| match r {
+                            Ok(b) => WireBlock::Values(b.to_vec()),
+                            Err(e) => block_error(&e),
+                        })
+                        .collect()
+                };
                 Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks })
             }
             Message::StatsRequest => Message::StatsResponse(wire_stats(handle)),

@@ -369,6 +369,7 @@ fn run_transport_inner(
                         jitter_seed: Some(splitmix64(cfg.seed ^ (c as u64) << 33)),
                     },
                     hedge: true,
+                    ..ClientConfig::default()
                 };
                 let mut o = ClientOutcome {
                     sig: splitmix64(cfg.seed ^ (c as u64) << 17),

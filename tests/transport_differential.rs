@@ -99,6 +99,7 @@ fn fault_client_cfg() -> ClientConfig {
             jitter_seed: Some(0x7EAC),
         },
         hedge: true,
+        ..ClientConfig::default()
     }
 }
 
@@ -283,6 +284,7 @@ fn stall_past_deadline_is_an_error_not_a_hang() {
             jitter_seed: Some(1),
         },
         hedge: false,
+        ..ClientConfig::default()
     };
     let started = Instant::now();
     let mut client = RemoteClient::connect(&[Endpoint::Tcp(proxy.addr())], cfg).unwrap();
@@ -402,6 +404,157 @@ fn per_block_errors_degrade_without_sinking_the_batch() {
 
     stop.stop();
     jh.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The frame cap must bound every exchange: a client fetching more
+/// data than one 64 MiB frame could carry splits the id list into
+/// chunked exchanges (exercised here with a shrunken budget so small
+/// fixtures take the same code path), each byte-identical to direct
+/// reads.
+#[test]
+fn whole_store_fetches_chunk_below_the_frame_cap_byte_identical() {
+    let dir = common::tmpdir("transport-chunk");
+    let path = fixture(&dir, "chunk.eristore");
+    let ids: Vec<u64> = (0..BLOCKS as u64).collect();
+    let mut direct = StoreReader::open(&path).unwrap();
+    let want: Vec<Vec<f64>> =
+        ids.iter().map(|&i| direct.read_block(i as usize).unwrap()).collect();
+
+    let (local, stop, jh, _handle) =
+        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+    let budget = 4096usize;
+    let cfg = ClientConfig { max_response_bytes: budget, ..ClientConfig::default() };
+    let mut client = RemoteClient::connect(&[local], cfg).unwrap();
+    let hello = client.hello();
+    let per_batch = eri_server::protocol::max_ids_per_read(
+        hello.num_subblocks as usize * hello.subblock_size as usize,
+        budget,
+    );
+    assert!(per_batch >= 1 && per_batch < BLOCKS, "budget must force chunking: {per_batch}");
+
+    let got = client.read_blocks_strict(&ids).unwrap();
+    assert_eq!(got.len(), ids.len());
+    for (pos, &id) in ids.iter().enumerate() {
+        assert_bit_identical(&got[pos], &want[pos], id as usize);
+    }
+    // One exchange per chunk — never one oversized frame.
+    let exchanges = BLOCKS.div_ceil(per_batch) as u64;
+    assert_eq!(client.stats().requests, exchanges, "{:?}", client.stats());
+    assert_eq!(client.stats().retries, 0, "chunked reads must not retry");
+
+    stop.stop();
+    jh.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A non-conforming client that asks for more blocks than one response
+/// frame can answer gets structured per-block errors — not an
+/// oversized frame it would reject as corrupt, and not a dropped
+/// connection.
+#[test]
+fn oversized_batches_degrade_to_per_block_errors() {
+    use eri_server::protocol::{self, Message, ReadRequest, WireBlock};
+
+    let dir = common::tmpdir("transport-oversize");
+    let path = fixture(&dir, "oversize.eristore");
+    let (local, stop, jh, handle) =
+        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+    let addr = match &local {
+        Endpoint::Tcp(a) => a.clone(),
+        other => panic!("expected tcp endpoint, got {other}"),
+    };
+
+    // Speak the protocol raw, bypassing RemoteClient's chunking.
+    let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+    assert!(matches!(protocol::read_frame(&mut sock).unwrap(), Message::Hello(_)));
+    let geom = handle.geometry();
+    let cap = protocol::max_ids_per_read(
+        geom.num_subblocks * geom.subblock_size,
+        protocol::MAX_FRAME_PAYLOAD as usize,
+    );
+    let ids: Vec<u64> = (0..cap as u64 + 1).collect();
+    protocol::write_frame(
+        &mut sock,
+        &Message::ReadRequest(ReadRequest { request_id: 9, deadline_ms: 5000, ids }),
+    )
+    .unwrap();
+    let reply = protocol::read_frame(&mut sock).unwrap();
+    let Message::ReadResponse(rs) = reply else { panic!("want ReadResponse") };
+    assert_eq!(rs.request_id, 9);
+    assert_eq!(rs.blocks.len(), cap + 1, "every slot answered");
+    match &rs.blocks[0] {
+        WireBlock::Error { kind, message } => {
+            assert_eq!(*kind, BlockErrorKind::Io, "serving-path problem, not corruption");
+            assert!(message.contains("frame budget"), "{message}");
+        }
+        other => panic!("first slot must carry the explanation, got {other:?}"),
+    }
+    assert!(
+        rs.blocks[1..]
+            .iter()
+            .all(|b| matches!(b, WireBlock::Error { kind: BlockErrorKind::Io, .. })),
+        "all slots degrade"
+    );
+
+    // The connection survives: a conforming batch still serves.
+    protocol::write_frame(
+        &mut sock,
+        &Message::ReadRequest(ReadRequest { request_id: 10, deadline_ms: 5000, ids: vec![0, 1] }),
+    )
+    .unwrap();
+    let Message::ReadResponse(rs2) = protocol::read_frame(&mut sock).unwrap() else {
+        panic!("want ReadResponse")
+    };
+    assert!(rs2.blocks.iter().all(|b| matches!(b, WireBlock::Values(_))), "{rs2:?}");
+
+    drop(sock);
+    stop.stop();
+    jh.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Binding a Unix endpoint must never steal a live server's socket or
+/// delete an unrelated file at the path; only a genuinely stale socket
+/// (nobody accepting) is reclaimed.
+#[test]
+fn unix_bind_refuses_live_sockets_and_regular_files() {
+    let dir = common::tmpdir("transport-bindsafe");
+    let path = fixture(&dir, "bind.eristore");
+    let sock = dir.join("live.sock");
+
+    let (local, stop, jh, handle) =
+        start_server(&[path.clone()], &Endpoint::Unix(sock.clone()), &ServerConfig::default());
+
+    // Second bind on the live socket: refused, socket left in place,
+    // original server unharmed.
+    let err = match TransportServer::bind(&Endpoint::Unix(sock.clone()), Arc::clone(&handle)) {
+        Ok(_) => panic!("bind over a live socket must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    assert!(sock.exists(), "live socket must survive a bind attempt");
+    let mut client = RemoteClient::connect(&[local], ClientConfig::default()).unwrap();
+    assert!(client.read_blocks_strict(&[0]).is_ok(), "live server must keep serving");
+    stop.stop();
+    jh.join().unwrap().unwrap();
+
+    // A regular file at the path is never removed.
+    let file = dir.join("not-a-socket");
+    std::fs::write(&file, b"precious").unwrap();
+    let err = match TransportServer::bind(&Endpoint::Unix(file.clone()), Arc::clone(&handle)) {
+        Ok(_) => panic!("bind over a regular file must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "{err}");
+    assert_eq!(std::fs::read(&file).unwrap(), b"precious");
+
+    // A stale socket (listener long gone) is reclaimed.
+    let stale = dir.join("stale.sock");
+    drop(std::os::unix::net::UnixListener::bind(&stale).unwrap());
+    assert!(stale.exists(), "dropping a listener leaves the socket file");
+    let srv = TransportServer::bind(&Endpoint::Unix(stale.clone()), Arc::clone(&handle)).unwrap();
+    drop(srv);
     std::fs::remove_dir_all(&dir).ok();
 }
 
