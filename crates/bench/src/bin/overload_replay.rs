@@ -1,0 +1,103 @@
+//! Fixed-seed overload replay, emitted as `BENCH_overload.json`.
+//!
+//! Clients hammer one admission-controlled server while the seeded
+//! overload injector forces sheds and slow handlers (DESIGN §14): a
+//! deterministic burst, not a wall-clock race. Because the injector's
+//! decisions are a pure function of the seed and the breakers are
+//! count-driven, the report's `overload` line — sheds, admissions,
+//! breaker transitions, drain books — is bit-identical from run to
+//! run and at any `RAYON_NUM_THREADS`; CI diffs it textually. The
+//! `timing` section carries the run-varying queue-wait and RTT
+//! percentiles.
+//!
+//! `PASTRI_BENCH_SCALE` multiplies the request budget like the other
+//! benches. Exits 2 on lost data, an unsound drain (an admitted
+//! request that never completed), or a shed that did not surface as a
+//! structured client error — the same gates as
+//! `pastri soak --transport --overload`.
+
+use bench::{bench_scale, print_header, print_row};
+
+fn main() {
+    let scale = bench_scale();
+    let dir = std::env::temp_dir().join(format!("pastri-bench-overload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = soak::TransportStormConfig::overload_storm(&dir, 42);
+    cfg.clients = 2;
+    cfg.requests_per_client = ((48.0 * scale).round() as usize).max(12);
+    cfg.scale = 24;
+    // Loose ceilings: the bench reports, the soak gates. These only
+    // trip if the run is badly wrong.
+    cfg.slo.max_shed_rate = Some(0.9);
+    cfg.slo.queue_wait_p99_us = Some(5_000_000);
+    cfg.slo.max_breaker_opened = Some(10_000);
+
+    let ovl = cfg.overload.as_ref().expect("overload storm config");
+    println!(
+        "overload replay — seed {}, {} clients x {} requests over {} blocks, \
+         forced shed every {} keys (<= {} per key), slow handler every {} keys\n",
+        cfg.seed,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.scale,
+        ovl.inject.shed_every,
+        ovl.inject.max_sheds_per_key,
+        ovl.inject.delay_every,
+    );
+
+    let report = soak::run_transport(&cfg).expect("overload replay run");
+    let t = &report.tallies;
+    let r = &report.recovery;
+    let o = report.overload.expect("overload tallies");
+
+    let decided = o.server_shed + o.server_admitted;
+    let shed_rate = if decided == 0 { 0.0 } else { o.server_shed as f64 / decided as f64 };
+
+    let widths = [28usize, 20];
+    print_header(&["metric", "value"], &widths);
+    for (name, v) in [
+        ("requests planned", t.requests_planned.to_string()),
+        ("requests ok", t.requests_ok.to_string()),
+        ("blocks served", t.blocks_served.to_string()),
+        ("lost blocks", t.lost_blocks.to_string()),
+        ("value signature", format!("{:016x}", t.value_sig)),
+        ("server admitted", o.server_admitted.to_string()),
+        ("server completed", o.server_completed.to_string()),
+        ("server shed", o.server_shed.to_string()),
+        ("shed rate", format!("{shed_rate:.4}")),
+        ("client overloaded seen", o.client_overloaded.to_string()),
+        ("refused while draining", o.refused_draining.to_string()),
+        ("breaker opened", o.breaker_opened.to_string()),
+        ("breaker half-opened", o.breaker_half_opened.to_string()),
+        ("breaker closed", o.breaker_closed.to_string()),
+        ("drain complete", o.drain_complete.to_string()),
+        ("client retries", r.retries.to_string()),
+        ("client hedges", r.hedges.to_string()),
+        (
+            "queue wait p99 (us)",
+            report.queue_wait_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ),
+        (
+            "rpc p99 (us)",
+            report.rpc_p99_us.map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ),
+    ] {
+        print_row(&[name.to_string(), v], &widths);
+    }
+
+    std::fs::write("BENCH_overload.json", report.to_json(&cfg))
+        .expect("writing BENCH_overload.json");
+    println!("\nwrote BENCH_overload.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !report.passed() {
+        eprintln!(
+            "overload replay FAILED: zero_data_loss={} overload_sound={} gates_pass={}",
+            report.zero_data_loss(),
+            report.overload_sound(),
+            report.all_gates_pass()
+        );
+        std::process::exit(2);
+    }
+}

@@ -1087,6 +1087,22 @@ fn soak_transport(
     cfg.faults.faulty_every =
         args.get_usize("faulty-every", cfg.faults.faulty_every as usize)? as u32;
     cfg.faults.max_faults = args.get_usize("max-faults", cfg.faults.max_faults as usize)? as u32;
+    if args.switch("overload") {
+        // Overload mode: clean wire, seeded server-side injector,
+        // client breakers, graceful drain (DESIGN §14). Defaults to
+        // one replica so the shed/breaker tallies stay seed-pure.
+        cfg.replicas = args.get_usize("replicas", 1)?;
+        let mut ovl = soak::OverloadStormConfig::default();
+        ovl.inject.shed_every = args.get_usize("shed-every", ovl.inject.shed_every as usize)? as u64;
+        ovl.inject.max_sheds_per_key =
+            args.get_usize("max-sheds-per-key", ovl.inject.max_sheds_per_key as usize)? as u32;
+        ovl.inject.delay_every =
+            args.get_usize("delay-every", ovl.inject.delay_every as usize)? as u64;
+        ovl.breaker.failure_threshold = args
+            .get_usize("breaker-threshold", ovl.breaker.failure_threshold as usize)?
+            as u32;
+        cfg.overload = Some(ovl);
+    }
     cfg.slo = soak::TransportSloGates {
         rpc_p99_us: args
             .get("slo-rpc-p99-us")
@@ -1101,6 +1117,20 @@ fn soak_transport(
         max_frame_errors: args
             .get("slo-max-frame-errors")
             .map(|_| args.get_usize("slo-max-frame-errors", 0))
+            .transpose()?
+            .map(|v| v as u64),
+        max_shed_rate: args
+            .get("slo-max-shed-rate")
+            .map(|_| args.get_f64("slo-max-shed-rate", 0.0))
+            .transpose()?,
+        queue_wait_p99_us: args
+            .get("slo-queue-wait-p99-us")
+            .map(|_| args.get_usize("slo-queue-wait-p99-us", 0))
+            .transpose()?
+            .map(|v| v as u64),
+        max_breaker_opened: args
+            .get("slo-max-breaker-opened")
+            .map(|_| args.get_usize("slo-max-breaker-opened", 0))
             .transpose()?
             .map(|v| v as u64),
     };
@@ -1139,6 +1169,20 @@ fn soak_transport(
         "  recovery: {} retries, {} hedges, {} frame errors, {} deadline misses",
         r.retries, r.hedges, r.frame_errors, r.deadline_exceeded
     )?;
+    if let Some(o) = &report.overload {
+        writeln!(
+            out,
+            "  overload: {} shed ({} surfaced at clients), {} admitted / {} completed, breaker {} opened / {} half-open / {} closed, drain {}",
+            o.server_shed,
+            o.client_overloaded,
+            o.server_admitted,
+            o.server_completed,
+            o.breaker_opened,
+            o.breaker_half_opened,
+            o.breaker_closed,
+            if o.drain_complete { "complete" } else { "INCOMPLETE" }
+        )?;
+    }
     for g in &report.gates {
         writeln!(
             out,
@@ -1161,6 +1205,16 @@ fn soak_transport(
             "soak --transport: DATA LOSS — {} block(s) lost, {} value mismatch(es)",
             t.lost_blocks, t.value_mismatches
         )));
+    }
+    if !report.overload_sound() {
+        // A dropped admitted request or a shed that never surfaced as
+        // a structured error is silent loss — same severity as data
+        // loss in the exit contract.
+        return Err(CliError::corruption(
+            "soak --transport: overload accounting violated — dropped admitted request or \
+             unsurfaced shed"
+                .to_string(),
+        ));
     }
     if !report.all_gates_pass() {
         let failed: Vec<&str> = report
@@ -1333,12 +1387,15 @@ pub fn fetch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         );
     }
 
-    let mut cfg = eri_server::ClientConfig::default();
-    cfg.deadline =
-        std::time::Duration::from_millis(args.get_usize("deadline-ms", 5000)?.max(1) as u64);
-    cfg.attempt_timeout = std::time::Duration::from_millis(
-        args.get_usize("attempt-ms", 1000)?.max(1) as u64,
-    );
+    let mut cfg = eri_server::ClientConfig {
+        deadline: std::time::Duration::from_millis(
+            args.get_usize("deadline-ms", 5000)?.max(1) as u64,
+        ),
+        attempt_timeout: std::time::Duration::from_millis(
+            args.get_usize("attempt-ms", 1000)?.max(1) as u64,
+        ),
+        ..Default::default()
+    };
     cfg.retry.max_retries = args.get_usize("retries", cfg.retry.max_retries as usize)? as u32;
     if let Some(seed) = args.get("seed") {
         cfg.retry.jitter_seed = Some(seed.parse().map_err(|_| {
@@ -1396,6 +1453,26 @@ pub fn fetch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             ws.cache_hits,
             ws.cache_hits + ws.cache_misses
         )?;
+        // Overload counters (v2 servers; a v1 peer reports zeros) —
+        // shed-at-server vs failed-at-client in one place.
+        writeln!(
+            out,
+            "  server overload: {} admitted, {} shed, {} refused draining",
+            ws.admitted, ws.shed, ws.refused_draining
+        )?;
+        let cs = client.stats();
+        writeln!(
+            out,
+            "  client: {} overloaded refusals, breaker {} opened / {} half-open / {} closed",
+            cs.overloaded, cs.breaker_opened, cs.breaker_half_opened, cs.breaker_closed
+        )?;
+        for (ep, st) in client.breaker_states() {
+            let state = match st {
+                None => "disabled".to_string(),
+                Some(s) => format!("{s:?}").to_lowercase(),
+            };
+            writeln!(out, "  breaker {ep}: {state}")?;
+        }
     }
     if let Some(tcap) = telem {
         tcap.finish(out)?;

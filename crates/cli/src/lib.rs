@@ -132,6 +132,10 @@ USAGE:
   pastri report     <telemetry.jsonl>
   pastri soak       <dir> [--seed 42] [--ops 120] [--stores 4] [--scale 12]
                     [--seconds S] [--bench-out BENCH_soak.json] [--keep]
+                    [--transport [--overload] [--replicas N] [--clients N]
+                     [--requests N] [--shed-every N] [--breaker-threshold N]
+                     [--slo-max-shed-rate F] [--slo-queue-wait-p99-us N]
+                     [--slo-max-breaker-opened N]]
   pastri serve      <store.eristore>... [--blocks 0,3,7-9] [--out raw.f64]
                     [--shards 4] [--cache-mb 8] [--cache-shards 8]
                     [--listen (tcp:HOST:PORT|unix:PATH) [--serve-conns N]]
@@ -208,6 +212,22 @@ REMOTE SERVING (`serve --listen` / `fetch`):
   failover rotation, so a dead or stalling replica costs one attempt,
   not the deadline. Corrupt frames or blocks that outlive the retry
   budget exit 2; unreachable endpoints and blown deadlines exit 1.
+
+OVERLOAD PROTECTION (DESIGN §14):
+  The server admits requests through a permit budget (global, per-conn,
+  and response-bytes); a request whose estimated queue wait exceeds its
+  carried deadline budget is shed *immediately* with an `Overloaded`
+  frame carrying a retry-after hint — never a silent timeout. The
+  client treats `Overloaded` as a backoff signal (exit 1, distinct from
+  frame corruption's exit 2) and runs a per-endpoint circuit breaker
+  (open -> half-open probe -> close) that steers hedged failover away
+  from saturated replicas. `fetch --stats` prints both sides: server
+  admitted/shed/refused-draining and client breaker transitions, so
+  shed-at-server is distinguishable from failed-at-client. `pastri soak
+  <dir> --transport --overload` drives a seeded overload storm (forced
+  sheds + slow handlers, pure function of --seed) and gates on shed
+  rate, queue-wait p99, and breaker-transition counts; the run ends in
+  a graceful drain whose books prove no admitted request was dropped.
 
 SELF-HEALING:
   Containers carry Reed-Solomon parity by default (v3): up to 2 damaged

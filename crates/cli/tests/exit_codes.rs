@@ -468,6 +468,79 @@ fn transport_exit_codes_follow_the_documented_contract() {
     assert_eq!(server.join().unwrap(), 3, "all three attempts reached the server");
     let tallies = proxy.stop();
     assert!(tallies.corrupts >= 3, "{tallies:?}");
+
+    // Shed past the retry budget: a server whose injector refuses every
+    // read with a structured `Overloaded` frame. The service was
+    // *unavailable*, not corrupt — exit 1, distinct from the frame-CRC
+    // exit 2 above. One connection serves every attempt: an Overloaded
+    // reply keeps the stream in sync, so the client must not reconnect.
+    let store3 = store.clone();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let cfg = eri_server::ServerConfig::default();
+        let handle = eri_server::ServerHandle::open(&[&store3], &cfg).unwrap();
+        let opts = eri_server::transport::ServeOptions {
+            inject: Some(std::sync::Arc::new(|_key: u64, _attempt: u32| {
+                eri_server::InjectedLoad {
+                    shed: true,
+                    retry_after: std::time::Duration::from_millis(1),
+                    delay: std::time::Duration::ZERO,
+                }
+            })
+                as std::sync::Arc<dyn eri_server::OverloadInject>),
+            ..Default::default()
+        };
+        let srv = eri_server::TransportServer::bind_with(
+            &eri_server::Endpoint::parse("tcp:127.0.0.1:0").unwrap(),
+            std::sync::Arc::new(handle),
+            opts,
+        )
+        .unwrap();
+        let eri_server::Endpoint::Tcp(addr) = srv.local_endpoint() else { unreachable!() };
+        addr_tx.send(addr).unwrap();
+        let conns = srv.run(Some(1)).unwrap();
+        (conns, srv.admission().stats())
+    });
+    let shed_addr = addr_rx.recv().unwrap();
+    let shed = exit_code(&sv(&[
+        "fetch", &format!("tcp:{shed_addr}"),
+        "--retries", "2", "--deadline-ms", "10000", "--blocks", "0-3",
+    ]));
+    assert_eq!(shed, 1, "sheds past the retry budget are exit 1 (availability)");
+    let (conns, astats) = server.join().unwrap();
+    assert_eq!(conns, 1, "overloaded replies keep the connection alive");
+    assert_eq!(astats.shed, 3, "every attempt shed loudly (retries 2 = 3 attempts)");
+
+    // Drain refusal: a draining server refuses new requests with a
+    // structured `Draining` status — again availability, exit 1.
+    let store4 = store.clone();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let cfg = eri_server::ServerConfig::default();
+        let handle = eri_server::ServerHandle::open(&[&store4], &cfg).unwrap();
+        let srv = eri_server::TransportServer::bind(
+            &eri_server::Endpoint::parse("tcp:127.0.0.1:0").unwrap(),
+            std::sync::Arc::new(handle),
+        )
+        .unwrap();
+        let eri_server::Endpoint::Tcp(addr) = srv.local_endpoint() else { unreachable!() };
+        // Begin draining before any client arrives: connections are
+        // still accepted (finishing admitted work elsewhere) but every
+        // new read is refused.
+        srv.stop_handle().begin_drain();
+        addr_tx.send(addr).unwrap();
+        let conns = srv.run(Some(1)).unwrap();
+        (conns, srv.admission().stats())
+    });
+    let drain_addr = addr_rx.recv().unwrap();
+    let drained = exit_code(&sv(&[
+        "fetch", &format!("tcp:{drain_addr}"),
+        "--retries", "1", "--deadline-ms", "10000", "--blocks", "0-3",
+    ]));
+    assert_eq!(drained, 1, "drain refusals are exit 1 (availability)");
+    let (_, astats) = server.join().unwrap();
+    assert_eq!(astats.refused_draining, 2, "both attempts refused with Draining");
+    assert_eq!(astats.admitted, 0, "nothing admitted while draining");
 }
 
 /// Polls (briefly) until a serve thread has bound its unix socket.

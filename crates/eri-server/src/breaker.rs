@@ -1,0 +1,246 @@
+//! Per-endpoint circuit breaker: a pure state machine over an
+//! injected clock.
+//!
+//! The client records one outcome per attempt; the breaker trips open
+//! when the rolling failure window fills, refuses traffic for a
+//! cooldown, then lets exactly one probe through (half-open). A probe
+//! success closes the breaker; a probe failure re-opens it with a
+//! fresh cooldown.
+//!
+//! Determinism contract: every transition is a pure function of the
+//! `(outcome, now_us)` sequence fed to [`Breaker::record`] and
+//! [`Breaker::allow`]. There is no internal time source and no
+//! randomness, so a client replaying the same attempt outcomes at the
+//! same logical timestamps produces bit-identical transition counts —
+//! this is what lets the soak overload storm gate on breaker tallies.
+//! The proptest in `tests/breaker_model.rs` checks this implementation
+//! op-for-op against an independent reference model.
+
+use std::collections::VecDeque;
+
+/// Tuning for a [`Breaker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive-window failure count that trips the breaker open.
+    pub failure_threshold: u32,
+    /// Rolling window length: failures older than this no longer count
+    /// toward the threshold.
+    pub window_us: u64,
+    /// How long an open breaker refuses traffic before allowing a
+    /// half-open probe.
+    pub cooldown_us: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            window_us: 10_000_000,  // 10 s
+            cooldown_us: 1_000_000, // 1 s
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures accumulate in the rolling window.
+    Closed,
+    /// Tripped: all traffic refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe is in flight; its outcome
+    /// decides Closed vs Open.
+    HalfOpen,
+}
+
+/// A state change, reported so callers can count transitions
+/// (`rpc.breaker_*` telemetry, soak tallies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed/HalfOpen → Open.
+    Opened,
+    /// Open → HalfOpen (probe admitted).
+    HalfOpened,
+    /// HalfOpen → Closed (probe succeeded).
+    Closed,
+}
+
+/// Running transition counts, for stats surfaces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounts {
+    pub opened: u64,
+    pub half_opened: u64,
+    pub closed: u64,
+}
+
+/// Circuit breaker for one endpoint. Not thread-safe by itself; the
+/// client wraps it in its own connection state.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: State,
+    /// Timestamps (µs) of failures still inside the rolling window.
+    failures: VecDeque<u64>,
+    counts: BreakerCounts,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    /// `since`: when the breaker opened (cooldown anchor).
+    Open { since: u64 },
+    /// A probe was admitted and has not reported back yet.
+    HalfOpen,
+}
+
+impl Breaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker { cfg, state: State::Closed, failures: VecDeque::new(), counts: BreakerCounts::default() }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    pub fn counts(&self) -> BreakerCounts {
+        self.counts
+    }
+
+    /// May an attempt be sent at `now_us`? Open → HalfOpen happens
+    /// here (the caller's question *is* the probe admission), so the
+    /// returned transition must be tallied by the caller.
+    pub fn allow(&mut self, now_us: u64) -> (bool, Option<Transition>) {
+        match self.state {
+            State::Closed | State::HalfOpen => (true, None),
+            State::Open { since } => {
+                if now_us.saturating_sub(since) >= self.cfg.cooldown_us {
+                    self.state = State::HalfOpen;
+                    self.counts.half_opened += 1;
+                    (true, Some(Transition::HalfOpened))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// If refused now, how long until a probe would be allowed.
+    pub fn retry_in_us(&self, now_us: u64) -> u64 {
+        match self.state {
+            State::Open { since } => {
+                self.cfg.cooldown_us.saturating_sub(now_us.saturating_sub(since))
+            }
+            _ => 0,
+        }
+    }
+
+    /// Records one attempt outcome at `now_us`.
+    pub fn record(&mut self, success: bool, now_us: u64) -> Option<Transition> {
+        match self.state {
+            State::HalfOpen => {
+                if success {
+                    self.state = State::Closed;
+                    self.failures.clear();
+                    self.counts.closed += 1;
+                    Some(Transition::Closed)
+                } else {
+                    self.state = State::Open { since: now_us };
+                    self.counts.opened += 1;
+                    Some(Transition::Opened)
+                }
+            }
+            State::Closed => {
+                if success {
+                    // Success does not expire old failures by itself;
+                    // only the window does. Keeping this rule minimal
+                    // keeps the reference model honest.
+                    return None;
+                }
+                self.failures.push_back(now_us);
+                let horizon = now_us.saturating_sub(self.cfg.window_us);
+                while self.failures.front().is_some_and(|&t| t < horizon) {
+                    self.failures.pop_front();
+                }
+                if self.failures.len() as u32 >= self.cfg.failure_threshold {
+                    self.state = State::Open { since: now_us };
+                    self.failures.clear();
+                    self.counts.opened += 1;
+                    Some(Transition::Opened)
+                } else {
+                    None
+                }
+            }
+            // Outcomes of attempts launched before the trip land here;
+            // they must not perturb the open state or its cooldown.
+            State::Open { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, window_us: 1_000, cooldown_us: 500 }
+    }
+
+    #[test]
+    fn trips_after_threshold_failures_in_window() {
+        let mut b = Breaker::new(cfg());
+        assert_eq!(b.record(false, 10), None);
+        assert_eq!(b.record(false, 20), None);
+        assert_eq!(b.record(false, 30), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(31).0);
+        assert_eq!(b.retry_in_us(31), 499);
+    }
+
+    #[test]
+    fn stale_failures_age_out_of_the_window() {
+        let mut b = Breaker::new(cfg());
+        b.record(false, 0);
+        b.record(false, 1);
+        // Third failure arrives after the first two expired.
+        assert_eq!(b.record(false, 2_000), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let mut b = Breaker::new(cfg());
+        for t in [1, 2, 3] {
+            b.record(false, t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown not yet elapsed.
+        assert_eq!(b.allow(400), (false, None));
+        // Probe admitted exactly at the cooldown boundary.
+        assert_eq!(b.allow(503), (true, Some(Transition::HalfOpened)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe fails: back to Open with a fresh cooldown anchor.
+        assert_eq!(b.record(false, 510), Some(Transition::Opened));
+        assert!(!b.allow(900).0);
+        assert_eq!(b.allow(1_010), (true, Some(Transition::HalfOpened)));
+        assert_eq!(b.record(true, 1_020), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.counts(), BreakerCounts { opened: 2, half_opened: 2, closed: 1 });
+    }
+
+    #[test]
+    fn late_outcomes_while_open_are_ignored() {
+        let mut b = Breaker::new(cfg());
+        for t in [1, 2, 3] {
+            b.record(false, t);
+        }
+        // A straggler success/failure from an attempt launched before
+        // the trip must not close the breaker or move the anchor.
+        assert_eq!(b.record(true, 50), None);
+        assert_eq!(b.record(false, 60), None);
+        assert_eq!(b.retry_in_us(100), 403);
+    }
+}

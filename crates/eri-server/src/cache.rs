@@ -263,7 +263,7 @@ impl BlockCache {
     /// Looks `key` up, counting a hit or miss and refreshing recency.
     pub fn get(&self, key: u64) -> Option<Arc<Vec<f64>>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        let got = self.shards[self.shard_of(key)].lock().unwrap().get(key);
+        let got = crate::lock_recover(&self.shards[self.shard_of(key)]).get(key);
         if got.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add("cache.hits", 1);
@@ -279,7 +279,7 @@ impl BlockCache {
     /// block is now resident.
     pub fn insert(&self, key: u64, block: Arc<Vec<f64>>) -> bool {
         let (admitted, evictions, delta) =
-            self.shards[self.shard_of(key)].lock().unwrap().insert(key, block);
+            crate::lock_recover(&self.shards[self.shard_of(key)]).insert(key, block);
         if !admitted {
             self.admission_rejects.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add("cache.admission_rejects", 1);
@@ -306,13 +306,13 @@ impl BlockCache {
     /// probe that leaves LRU order exactly as it was.
     #[must_use]
     pub fn peek(&self, key: u64) -> bool {
-        self.shards[self.shard_of(key)].lock().unwrap().map.contains_key(&key)
+        crate::lock_recover(&self.shards[self.shard_of(key)]).map.contains_key(&key)
     }
 
     /// Number of resident entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+        self.shards.iter().map(|s| crate::lock_recover(s).map.len()).sum()
     }
 
     #[must_use]

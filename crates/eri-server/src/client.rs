@@ -30,8 +30,10 @@ use std::time::{Duration, Instant};
 
 use durable::retry::RetryPolicy;
 
+use crate::breaker::{Breaker, BreakerConfig, BreakerState, Transition};
 use crate::protocol::{
-    self, FrameError, Hello, Message, ReadRequest, WireBlock, WireStats, PROTO_VERSION,
+    self, FrameError, Hello, Message, OverloadReason, ReadRequest, WireBlock, WireStats,
+    MIN_PROTO_VERSION, PROTO_VERSION,
 };
 pub use crate::protocol::BlockErrorKind;
 use crate::transport::{Conn, Endpoint};
@@ -63,6 +65,16 @@ pub struct ClientConfig {
     /// reject as oversized. Lower it to trade per-exchange latency for
     /// memory; tests shrink it to force chunking on small data.
     pub max_response_bytes: usize,
+    /// Per-endpoint circuit breaker (`None` disables gating entirely —
+    /// the wire-fault storm runs without it so its tallies stay
+    /// byte-identical to the PR-8 baseline). When set, an endpoint
+    /// whose rolling failure window fills is refused traffic for the
+    /// cooldown, then probed half-open.
+    pub breaker: Option<BreakerConfig>,
+    /// Priority carried on v2 read requests: 0 = sheddable under
+    /// estimated queue wait, ≥1 = rides the queue out (still subject
+    /// to hard limits).
+    pub priority: u8,
 }
 
 impl Default for ClientConfig {
@@ -74,6 +86,8 @@ impl Default for ClientConfig {
             retry: RetryPolicy::default(),
             hedge: true,
             max_response_bytes: protocol::MAX_FRAME_PAYLOAD as usize,
+            breaker: Some(BreakerConfig::default()),
+            priority: 0,
         }
     }
 }
@@ -107,6 +121,10 @@ pub enum ClientError {
     /// The peer spoke the protocol wrong (version/geometry mismatch,
     /// response to a request never sent).
     Protocol(String),
+    /// The server shed or refused the request (admission control or
+    /// drain) past the retry budget: the service was *unavailable*,
+    /// not corrupt — exit 1, never exit 2.
+    Overloaded { reason: OverloadReason, retry_after: Duration },
     /// Strict-mode wrapper for the first per-block error in a batch.
     Block(BlockError),
     /// Client misconfiguration (e.g. no replicas).
@@ -122,6 +140,11 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Frame(msg) => write!(f, "corrupt frame: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Overloaded { reason, retry_after } => write!(
+                f,
+                "server {reason}: retry after {:.0} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
             ClientError::Block(b) => write!(f, "{b}"),
             ClientError::Config(msg) => write!(f, "client config: {msg}"),
         }
@@ -158,6 +181,12 @@ pub struct ClientStats {
     pub deadline_exceeded: u64,
     /// Corrupt frames detected (each also forced a reconnect).
     pub frame_errors: u64,
+    /// `Overloaded` refusals received (shed or draining).
+    pub overloaded: u64,
+    /// Breaker transitions observed, by kind.
+    pub breaker_opened: u64,
+    pub breaker_half_opened: u64,
+    pub breaker_closed: u64,
 }
 
 /// What one attempt can fail with (classified for retry accounting).
@@ -166,6 +195,10 @@ enum AttemptError {
     Timeout,
     CorruptFrame(String),
     Protocol(String),
+    /// Structured refusal: the frame arrived intact, the stream stays
+    /// in sync, and the connection is still good — back off instead of
+    /// reconnecting.
+    Overloaded { reason: OverloadReason, retry_after: Duration },
 }
 
 impl AttemptError {
@@ -195,6 +228,10 @@ pub struct RemoteClient {
     primary: usize,
     next_request_id: u64,
     stats: ClientStats,
+    /// One breaker per replica endpoint (empty slots when disabled).
+    breakers: Vec<Option<Breaker>>,
+    /// Clock anchor for breaker timestamps (µs since connect).
+    epoch: Instant,
 }
 
 impl RemoteClient {
@@ -220,6 +257,9 @@ impl RemoteClient {
                         let mut conns: Vec<Option<Conn>> =
                             (0..replicas.len()).map(|_| None).collect();
                         conns[i] = Some(conn);
+                        let breakers = (0..replicas.len())
+                            .map(|_| cfg.breaker.clone().map(Breaker::new))
+                            .collect();
                         return Ok(RemoteClient {
                             replicas: replicas.to_vec(),
                             cfg,
@@ -228,6 +268,8 @@ impl RemoteClient {
                             primary: i,
                             next_request_id: 1,
                             stats: ClientStats { retries, ..ClientStats::default() },
+                            breakers,
+                            epoch: start,
                         });
                     }
                     Err(e) => {
@@ -253,6 +295,9 @@ impl RemoteClient {
             }
             Some(AttemptError::CorruptFrame(msg)) => ClientError::Frame(msg),
             Some(AttemptError::Protocol(msg)) => ClientError::Protocol(msg),
+            Some(AttemptError::Overloaded { reason, retry_after }) => {
+                ClientError::Overloaded { reason, retry_after }
+            }
         })
     }
 
@@ -272,6 +317,45 @@ impl RemoteClient {
     #[must_use]
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// Current breaker state per replica endpoint (`None` when the
+    /// breaker is disabled for that slot).
+    #[must_use]
+    pub fn breaker_states(&self) -> Vec<(Endpoint, Option<BreakerState>)> {
+        self.replicas
+            .iter()
+            .cloned()
+            .zip(self.breakers.iter().map(|b| b.as_ref().map(Breaker::state)))
+            .collect()
+    }
+
+    /// The protocol version both sides agreed to speak:
+    /// `min(ours, server's)`.
+    #[must_use]
+    pub fn negotiated_version(&self) -> u32 {
+        self.hello.version.min(PROTO_VERSION)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn tally_transition(&mut self, t: Transition) {
+        match t {
+            Transition::Opened => {
+                self.stats.breaker_opened += 1;
+                telemetry::counter_add("rpc.breaker_opened", 1);
+            }
+            Transition::HalfOpened => {
+                self.stats.breaker_half_opened += 1;
+                telemetry::counter_add("rpc.breaker_half_opened", 1);
+            }
+            Transition::Closed => {
+                self.stats.breaker_closed += 1;
+                telemetry::counter_add("rpc.breaker_closed", 1);
+            }
+        }
     }
 
     /// Reads a batch of blocks. Per-block failures come back as
@@ -314,8 +398,19 @@ impl RemoteClient {
         let rq_ids = ids.to_vec();
         // Advisory deadline for the server's write budget.
         let deadline_ms = u32::try_from(self.cfg.deadline.as_millis()).unwrap_or(u32::MAX);
-        let reply = self.roundtrip(&mut |request_id| {
-            Message::ReadRequest(ReadRequest { request_id, deadline_ms, ids: rq_ids.clone() })
+        let v2 = self.negotiated_version() >= 2;
+        let priority = self.cfg.priority;
+        let reply = self.roundtrip(&mut |request_id, remaining| {
+            // Deadline propagation: the server sees how much budget
+            // this attempt actually has left, so its admission queue
+            // can shed instead of serving a reply nobody will wait for.
+            let budget_ms = u32::try_from(remaining.as_millis()).unwrap_or(u32::MAX);
+            let rq = ReadRequest { request_id, deadline_ms, budget_ms, priority, ids: rq_ids.clone() };
+            if v2 {
+                Message::ReadRequestV2(rq)
+            } else {
+                Message::ReadRequest(rq)
+            }
         })?;
         let rs = match reply {
             Message::ReadResponse(rs) => rs,
@@ -354,17 +449,21 @@ impl RemoteClient {
 
     /// Fetches the server's serving/retry/repair counters.
     pub fn server_stats(&mut self) -> Result<WireStats, ClientError> {
-        let reply = self.roundtrip(&mut |_| Message::StatsRequest)?;
+        let v2 = self.negotiated_version() >= 2;
+        let reply = self
+            .roundtrip(&mut |_, _| if v2 { Message::StatsRequestV2 } else { Message::StatsRequest })?;
         match reply {
-            Message::StatsResponse(s) => Ok(s),
+            Message::StatsResponse(s) | Message::StatsResponseV2(s) => Ok(s),
             other => Err(ClientError::Protocol(format!("unexpected reply {:?}", kind_of(&other)))),
         }
     }
 
     /// The deadline/retry/hedge state machine shared by every call.
+    /// `make` receives the request id and the budget remaining at send
+    /// time (for deadline propagation).
     fn roundtrip(
         &mut self,
-        make: &mut dyn FnMut(u64) -> Message,
+        make: &mut dyn FnMut(u64, Duration) -> Message,
     ) -> Result<Message, ClientError> {
         let start = Instant::now();
         let mut attempt = 0u32;
@@ -377,17 +476,82 @@ impl RemoteClient {
                 telemetry::counter_add("rpc.deadline_exceeded", 1);
                 // A timeout that exhausted the budget is the deadline
                 // story regardless of what the last attempt died of —
-                // unless the last thing we saw was corruption, which
-                // outranks it for exit classification.
-                if let Some(AttemptError::CorruptFrame(msg)) = last {
-                    return Err(ClientError::Frame(msg));
+                // unless the last thing we saw was corruption (which
+                // outranks everything for exit classification) or a
+                // structured refusal (the shed is the story: "the
+                // server told us to go away", never a silent timeout).
+                match last {
+                    Some(AttemptError::CorruptFrame(msg)) => return Err(ClientError::Frame(msg)),
+                    Some(AttemptError::Overloaded { reason, retry_after }) => {
+                        return Err(ClientError::Overloaded { reason, retry_after })
+                    }
+                    _ => return Err(ClientError::DeadlineExceeded { elapsed }),
                 }
-                return Err(ClientError::DeadlineExceeded { elapsed });
             };
+            // Breaker gate: skip endpoints whose breaker is open,
+            // preferring the first allowed replica in failover order;
+            // when every breaker is open, sleep until the soonest
+            // probe window (bounded by the deadline, which stays the
+            // final arbiter).
+            if self.breakers.iter().any(Option::is_some) {
+                let now = self.now_us();
+                let n = self.replicas.len();
+                let mut admitted = None;
+                let mut transitions = Vec::new();
+                for off in 0..n {
+                    let r = (replica + off) % n;
+                    let ok = match self.breakers[r].as_mut() {
+                        None => true,
+                        Some(b) => {
+                            let (ok, tr) = b.allow(now);
+                            transitions.extend(tr);
+                            ok
+                        }
+                    };
+                    if ok {
+                        admitted = Some(r);
+                        break;
+                    }
+                }
+                for t in transitions {
+                    self.tally_transition(t);
+                }
+                match admitted {
+                    Some(r) => {
+                        if r != replica {
+                            // Breaker-driven failover is a hedge: the
+                            // attempt moved to another replica.
+                            self.stats.hedges += 1;
+                            telemetry::counter_add("rpc.hedges", 1);
+                            replica = r;
+                        }
+                    }
+                    None => {
+                        let wait_us = self
+                            .breakers
+                            .iter()
+                            .flatten()
+                            .map(|b| b.retry_in_us(now))
+                            .min()
+                            .unwrap_or(0);
+                        let wait =
+                            Duration::from_micros(wait_us.max(1000)).min(remaining);
+                        std::thread::sleep(wait);
+                        continue;
+                    }
+                }
+            }
             let request_id = self.next_request_id;
             self.next_request_id += 1;
             let attempt_start = Instant::now();
-            match self.try_once(replica, remaining, &make(request_id), request_id) {
+            let result = self.try_once(replica, remaining, &make(request_id, remaining), request_id);
+            let now = self.now_us();
+            if let Some(b) = self.breakers[replica].as_mut() {
+                if let Some(t) = b.record(result.is_ok(), now) {
+                    self.tally_transition(t);
+                }
+            }
+            match result {
                 Ok(reply) => {
                     let rtt = attempt_start.elapsed().as_micros() as u64;
                     telemetry::observe_us("rpc.rtt_us", rtt);
@@ -396,10 +560,19 @@ impl RemoteClient {
                     return Ok(reply);
                 }
                 Err(e) => {
-                    // A failed attempt leaves the stream in an unknown
-                    // state; never reuse it.
-                    if let Some(c) = self.conns[replica].take() {
-                        let _ = c.shutdown();
+                    let overloaded = matches!(e, AttemptError::Overloaded { .. });
+                    if overloaded {
+                        // The refusal arrived as an intact frame: the
+                        // stream is in sync and the connection stays
+                        // usable for the retry after backoff.
+                        self.stats.overloaded += 1;
+                        telemetry::counter_add("rpc.overloaded", 1);
+                    } else {
+                        // A failed attempt leaves the stream in an
+                        // unknown state; never reuse it.
+                        if let Some(c) = self.conns[replica].take() {
+                            let _ = c.shutdown();
+                        }
                     }
                     if let AttemptError::CorruptFrame(_) = &e {
                         self.stats.frame_errors += 1;
@@ -418,6 +591,9 @@ impl RemoteClient {
                             }
                             AttemptError::CorruptFrame(msg) => ClientError::Frame(msg),
                             AttemptError::Protocol(msg) => ClientError::Protocol(msg),
+                            AttemptError::Overloaded { reason, retry_after } => {
+                                ClientError::Overloaded { reason, retry_after }
+                            }
                         });
                     }
                     self.stats.retries += 1;
@@ -427,7 +603,15 @@ impl RemoteClient {
                         self.stats.hedges += 1;
                         telemetry::counter_add("rpc.hedges", 1);
                     }
-                    let backoff = self.cfg.retry.backoff_for(attempt).min(remaining);
+                    // An Overloaded refusal carries the server's own
+                    // backoff hint; honor whichever is longer so a
+                    // shedding server isn't hammered at the client's
+                    // ordinary retry cadence.
+                    let mut backoff = self.cfg.retry.backoff_for(attempt);
+                    if let AttemptError::Overloaded { retry_after, .. } = &e {
+                        backoff = backoff.max(*retry_after);
+                    }
+                    let backoff = backoff.min(remaining);
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -457,7 +641,11 @@ impl RemoteClient {
             }
             self.conns[replica] = Some(conn);
         }
-        let conn = self.conns[replica].as_mut().expect("just ensured");
+        let Some(conn) = self.conns[replica].as_mut() else {
+            // Unreachable by construction (the slot was just filled),
+            // but a structured error beats a panic on a serving path.
+            return Err(AttemptError::Protocol("connection slot empty after connect".into()));
+        };
         conn.set_write_timeout(Some(budget)).map_err(AttemptError::from_io)?;
         conn.set_read_timeout(Some(budget)).map_err(AttemptError::from_io)?;
         protocol::write_frame(conn, msg).map_err(AttemptError::from_io)?;
@@ -473,6 +661,18 @@ impl RemoteClient {
                 )));
             }
         }
+        if let Message::Overloaded(o) = &reply {
+            if o.request_id != request_id {
+                return Err(AttemptError::CorruptFrame(format!(
+                    "overloaded reply id {} for request {}",
+                    o.request_id, request_id
+                )));
+            }
+            return Err(AttemptError::Overloaded {
+                reason: o.reason,
+                retry_after: Duration::from_millis(u64::from(o.retry_after_ms)),
+            });
+        }
         Ok(reply)
     }
 }
@@ -481,9 +681,13 @@ fn kind_of(msg: &Message) -> &'static str {
     match msg {
         Message::Hello(_) => "Hello",
         Message::ReadRequest(_) => "ReadRequest",
+        Message::ReadRequestV2(_) => "ReadRequestV2",
         Message::ReadResponse(_) => "ReadResponse",
         Message::StatsRequest => "StatsRequest",
         Message::StatsResponse(_) => "StatsResponse",
+        Message::StatsRequestV2 => "StatsRequestV2",
+        Message::StatsResponseV2(_) => "StatsResponseV2",
+        Message::Overloaded(_) => "Overloaded",
     }
 }
 
@@ -507,10 +711,13 @@ fn open_conn(
             )))
         }
     };
-    if hello.version != PROTO_VERSION {
+    // Version negotiation: the server announces the highest version it
+    // speaks; we accept anything in our supported range and then speak
+    // min(ours, theirs) — a v1 server gets only v1 frames from us.
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&hello.version) {
         return Err(AttemptError::Protocol(format!(
-            "protocol version {} (client speaks {})",
-            hello.version, PROTO_VERSION
+            "protocol version {} (client speaks {}..={})",
+            hello.version, MIN_PROTO_VERSION, PROTO_VERSION
         )));
     }
     Ok((conn, hello))

@@ -49,12 +49,16 @@ use eri_store::{shard_ranges, ReadStats, RetryPolicy, StoreError, StoreReader};
 use pastri::BlockGeometry;
 use rayon::prelude::*;
 
+pub mod admission;
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod replay;
 pub mod transport;
 
+pub use admission::{AdmissionConfig, AdmissionController, DrainOutcome, InjectedLoad, OverloadInject};
+pub use breaker::{Breaker, BreakerConfig, BreakerState, Transition};
 pub use cache::{BlockCache, CacheStats};
 pub use client::{BlockError, BlockErrorKind, ClientConfig, ClientError, ClientStats, RemoteClient};
 pub use transport::{Endpoint, StopHandle, TransportServer};
@@ -151,6 +155,10 @@ impl Default for ServerConfig {
 
 /// Batch positions paired with the blocks served into them.
 type FetchedBlocks = Vec<(usize, Arc<Vec<f64>>)>;
+
+/// One request slot's outcome: the position in the caller's id list
+/// paired with the served block or its structured error.
+type SlotResult = (usize, Result<Arc<Vec<f64>>, ServerError>);
 
 /// One shard: a contiguous global block range served by its own reader.
 struct Shard {
@@ -273,7 +281,11 @@ impl ServerHandle {
         Ok(ServerHandle {
             shards,
             cache: BlockCache::new(cfg.cache_bytes, cfg.cache_shards),
-            geometry: geometry.unwrap(),
+            // Filled on the first iteration; `paths` was checked
+            // non-empty above, so this can only be a logic error — but
+            // mount paths return structured errors, never panic.
+            geometry: geometry
+                .ok_or_else(|| ServerError::Config("no store produced a geometry".into()))?,
             error_bound,
             num_blocks: base,
             stores: paths.len(),
@@ -449,7 +461,7 @@ impl ServerHandle {
             .enumerate()
             .filter(|(_, v)| !v.is_empty())
             .collect();
-        let fetched: Vec<Vec<(usize, Result<Arc<Vec<f64>>, ServerError>)>> = groups
+        let fetched: Vec<Vec<SlotResult>> = groups
             .into_par_iter()
             .map(|(sid, items)| self.fetch_from_shard_each(sid, &items))
             .collect();
@@ -530,11 +542,10 @@ impl ServerHandle {
         &self,
         sid: usize,
         items: &[(usize, usize)],
-    ) -> Vec<(usize, Result<Arc<Vec<f64>>, ServerError>)> {
+    ) -> Vec<SlotResult> {
         let shard = &self.shards[sid];
         let mut reader = lock_recover(&shard.reader);
-        let mut got: Vec<(usize, Result<Arc<Vec<f64>>, ServerError>)> =
-            Vec::with_capacity(items.len());
+        let mut got: Vec<SlotResult> = Vec::with_capacity(items.len());
         let mut this_batch: FetchedBlocks = Vec::new();
         for &(pos, id) in items {
             if let Some((_, b)) = this_batch.iter().find(|(bid, _)| *bid == id) {

@@ -7,7 +7,9 @@
 //! offset  size  field
 //! 0       4     magic "PTRF"
 //! 4       1     kind (1=Hello 2=ReadRequest 3=ReadResponse
-//!                     4=StatsRequest 5=StatsResponse)
+//!                     4=StatsRequest 5=StatsResponse
+//!                     6=ReadRequestV2 7=Overloaded
+//!                     8=StatsRequestV2 9=StatsResponseV2)
 //! 5       3     reserved, must be zero
 //! 8       4     payload length, u32 LE (hard cap 64 MiB)
 //! 12      N     payload (kind-specific, little-endian fixed-width)
@@ -37,8 +39,33 @@
 //!   or an error code followed by `msg_len u32` + UTF-8 message. A bad
 //!   block degrades to its own status byte; the other blocks in the
 //!   response are unaffected.
-//! * `StatsRequest`: empty. `StatsResponse`: the [`WireStats`] fields
-//!   in declaration order, each `u64`.
+//! * `StatsRequest`: empty. `StatsResponse`: the nine v1 [`WireStats`]
+//!   fields in declaration order, each `u64`.
+//!
+//! Version 2 (negotiated — see below) adds four kinds:
+//!
+//! * `ReadRequestV2`: like `ReadRequest` but with a `budget_ms u32`
+//!   (the client's *remaining* whole-call deadline budget at send time,
+//!   which admission control weighs against its estimated queue wait)
+//!   and a `priority u8` (`0` = normal, sheddable; `1` = critical,
+//!   rides out the queue-wait estimate) between `deadline_ms` and the
+//!   id count.
+//! * `Overloaded`: the server shed a request instead of serving it —
+//!   `request_id u64`, `reason u8` (0 = shed under load, 1 = draining),
+//!   `retry_after_ms u32` (backoff hint). Only ever sent in reply to a
+//!   `ReadRequestV2`; v1 clients get per-block `Io` errors instead.
+//! * `StatsRequestV2`/`StatsResponseV2`: the full [`WireStats`]
+//!   including the admission-control counters (`shed`,
+//!   `refused_draining`, `admitted`).
+//!
+//! **Version negotiation.** The server always speaks first with a
+//! `Hello` carrying [`PROTO_VERSION`]; a client accepts any server
+//! version in `MIN_PROTO_VERSION..=PROTO_VERSION` and then speaks the
+//! *minimum* of the two, so a v2 client never sends v2 kinds to a v1
+//! server. The server infers the peer's version per request from the
+//! kind it used (kind 2 → v1, kind 6 → v2) and never replies with a
+//! kind the peer could not have learned from its own request — a v1
+//! peer is never sent `Overloaded` or `StatsResponseV2`.
 
 use std::io::{self, Read, Write};
 
@@ -47,7 +74,9 @@ use checksum::crc32;
 /// Frame magic: "PTRF" (PaSTRI Transport Frame).
 pub const MAGIC: [u8; 4] = *b"PTRF";
 /// Protocol version spoken by this build; carried in `Hello`.
-pub const PROTO_VERSION: u32 = 1;
+pub const PROTO_VERSION: u32 = 2;
+/// Oldest peer version this build still interoperates with.
+pub const MIN_PROTO_VERSION: u32 = 1;
 /// Fixed frame header length (magic + kind + reserved + payload len).
 pub const HEADER_LEN: usize = 12;
 /// Hard cap on payload length — reject before allocating.
@@ -59,9 +88,11 @@ pub const MAX_BLOCK_ERROR_MESSAGE: usize = 256;
 
 /// Fixed `ReadResponse` payload overhead: request id (8) + count (4).
 const READ_RESPONSE_OVERHEAD: usize = 12;
-/// Fixed `ReadRequest` payload overhead: request id (8) + deadline (4)
-/// + count (4).
-const READ_REQUEST_OVERHEAD: usize = 16;
+/// Fixed request payload overhead, sized for the wider v2 layout:
+/// request id (8) + deadline (4) + budget (4) + priority (1) + count
+/// (4). Batch sizing uses this for both versions so a batch that fits
+/// a v2 request always fits a v1 one too.
+const READ_REQUEST_OVERHEAD: usize = 21;
 
 /// How many block ids one `ReadRequest`/`ReadResponse` exchange can
 /// carry under `payload_cap` bytes of frame payload, for blocks of
@@ -215,11 +246,67 @@ pub struct Hello {
 /// A batch read: block ids plus the client's deadline (advisory on the
 /// server side — the client enforces its own clock; the server uses it
 /// to size its write timeout).
+///
+/// The v2 fields ride only in `ReadRequestV2` frames: `budget_ms` is
+/// the remaining whole-call budget at send time (what admission
+/// control weighs against its queue-wait estimate) and `priority`
+/// selects the shedding class. A v1 frame decodes with
+/// `budget_ms = deadline_ms` and `priority = 0`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadRequest {
     pub request_id: u64,
     pub deadline_ms: u32,
+    pub budget_ms: u32,
+    pub priority: u8,
     pub ids: Vec<u64>,
+}
+
+/// Why the server refused to serve a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// Shed under load: queue wait past the request's budget, queue
+    /// full, or the response-bytes budget exhausted.
+    Shed,
+    /// The server is draining: finishing admitted requests, accepting
+    /// no new ones.
+    Draining,
+}
+
+impl OverloadReason {
+    fn code(self) -> u8 {
+        match self {
+            OverloadReason::Shed => 0,
+            OverloadReason::Draining => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(OverloadReason::Shed),
+            1 => Some(OverloadReason::Draining),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverloadReason::Shed => write!(f, "shed"),
+            OverloadReason::Draining => write!(f, "draining"),
+        }
+    }
+}
+
+/// The server shed a request instead of serving it: a structured
+/// refusal with a backoff hint, never a silent timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    pub request_id: u64,
+    pub reason: OverloadReason,
+    /// Backoff hint: how long the server suggests waiting before the
+    /// next attempt.
+    pub retry_after_ms: u32,
 }
 
 /// Response to a [`ReadRequest`], one [`WireBlock`] per requested id in
@@ -234,6 +321,8 @@ pub struct ReadResponse {
 /// `ServerStats` (plus cache hit/miss), so a remote client can assert
 /// the same retry/repair attribution an in-process caller reads from
 /// `ServerHandle::stats`.
+/// The admission-control fields travel only in `StatsResponseV2`; a
+/// v1 `StatsResponse` decodes with them zeroed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireStats {
     pub requests: u64,
@@ -245,6 +334,12 @@ pub struct WireStats {
     pub blocks_dropped: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Requests shed by admission control (v2 only).
+    pub shed: u64,
+    /// Requests refused because the server was draining (v2 only).
+    pub refused_draining: u64,
+    /// Requests admitted past admission control (v2 only).
+    pub admitted: u64,
 }
 
 /// Every message the protocol can carry.
@@ -255,6 +350,10 @@ pub enum Message {
     ReadResponse(ReadResponse),
     StatsRequest,
     StatsResponse(WireStats),
+    ReadRequestV2(ReadRequest),
+    Overloaded(Overloaded),
+    StatsRequestV2,
+    StatsResponseV2(WireStats),
 }
 
 impl Message {
@@ -265,6 +364,10 @@ impl Message {
             Message::ReadResponse(_) => 3,
             Message::StatsRequest => 4,
             Message::StatsResponse(_) => 5,
+            Message::ReadRequestV2(_) => 6,
+            Message::Overloaded(_) => 7,
+            Message::StatsRequestV2 => 8,
+            Message::StatsResponseV2(_) => 9,
         }
     }
 }
@@ -286,7 +389,7 @@ impl FrameHeader {
             return Err(FrameError::BadMagic([raw[0], raw[1], raw[2], raw[3]]));
         }
         let kind = raw[4];
-        if !(1..=5).contains(&kind) {
+        if !(1..=9).contains(&kind) {
             return Err(FrameError::UnknownKind(kind));
         }
         if raw[5..8] != [0, 0, 0] {
@@ -371,12 +474,28 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             p.extend_from_slice(&h.error_bound.to_bits().to_le_bytes());
         }
         Message::ReadRequest(rq) => {
+            // v1 layout: the budget/priority fields stay off the wire.
             p.extend_from_slice(&rq.request_id.to_le_bytes());
             p.extend_from_slice(&rq.deadline_ms.to_le_bytes());
             p.extend_from_slice(&(rq.ids.len() as u32).to_le_bytes());
             for id in &rq.ids {
                 p.extend_from_slice(&id.to_le_bytes());
             }
+        }
+        Message::ReadRequestV2(rq) => {
+            p.extend_from_slice(&rq.request_id.to_le_bytes());
+            p.extend_from_slice(&rq.deadline_ms.to_le_bytes());
+            p.extend_from_slice(&rq.budget_ms.to_le_bytes());
+            p.push(rq.priority);
+            p.extend_from_slice(&(rq.ids.len() as u32).to_le_bytes());
+            for id in &rq.ids {
+                p.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Message::Overloaded(o) => {
+            p.extend_from_slice(&o.request_id.to_le_bytes());
+            p.push(o.reason.code());
+            p.extend_from_slice(&o.retry_after_ms.to_le_bytes());
         }
         Message::ReadResponse(rs) => {
             p.extend_from_slice(&rs.request_id.to_le_bytes());
@@ -399,7 +518,7 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                 }
             }
         }
-        Message::StatsRequest => {}
+        Message::StatsRequest | Message::StatsRequestV2 => {}
         Message::StatsResponse(s) => {
             for v in [
                 s.requests,
@@ -411,6 +530,24 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                 s.blocks_dropped,
                 s.cache_hits,
                 s.cache_misses,
+            ] {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Message::StatsResponseV2(s) => {
+            for v in [
+                s.requests,
+                s.blocks,
+                s.store_reads,
+                s.transient_retries,
+                s.backoff_us,
+                s.blocks_repaired,
+                s.blocks_dropped,
+                s.cache_hits,
+                s.cache_misses,
+                s.shed,
+                s.refused_draining,
+                s.admitted,
             ] {
                 p.extend_from_slice(&v.to_le_bytes());
             }
@@ -485,7 +622,14 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, FrameError> {
             for _ in 0..count {
                 ids.push(c.u64()?);
             }
-            Message::ReadRequest(ReadRequest { request_id, deadline_ms, ids })
+            // A v1 peer's whole deadline is its budget; normal priority.
+            Message::ReadRequest(ReadRequest {
+                request_id,
+                deadline_ms,
+                budget_ms: deadline_ms,
+                priority: 0,
+                ids,
+            })
         }
         3 => {
             let request_id = c.u64()?;
@@ -530,6 +674,44 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, FrameError> {
             blocks_dropped: c.u64()?,
             cache_hits: c.u64()?,
             cache_misses: c.u64()?,
+            ..WireStats::default()
+        }),
+        6 => {
+            let request_id = c.u64()?;
+            let deadline_ms = c.u32()?;
+            let budget_ms = c.u32()?;
+            let priority = c.u8()?;
+            let count = c.u32()? as usize;
+            if count > c.buf.len() / 8 {
+                return Err(FrameError::Malformed("id count past end of payload"));
+            }
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(c.u64()?);
+            }
+            Message::ReadRequestV2(ReadRequest { request_id, deadline_ms, budget_ms, priority, ids })
+        }
+        7 => {
+            let request_id = c.u64()?;
+            let reason = OverloadReason::from_code(c.u8()?)
+                .ok_or(FrameError::Malformed("unknown overload reason"))?;
+            let retry_after_ms = c.u32()?;
+            Message::Overloaded(Overloaded { request_id, reason, retry_after_ms })
+        }
+        8 => Message::StatsRequestV2,
+        9 => Message::StatsResponseV2(WireStats {
+            requests: c.u64()?,
+            blocks: c.u64()?,
+            store_reads: c.u64()?,
+            transient_retries: c.u64()?,
+            backoff_us: c.u64()?,
+            blocks_repaired: c.u64()?,
+            blocks_dropped: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            shed: c.u64()?,
+            refused_draining: c.u64()?,
+            admitted: c.u64()?,
         }),
         _ => return Err(FrameError::UnknownKind(kind)),
     };
@@ -558,12 +740,55 @@ mod tests {
                 subblock_size: 16,
                 error_bound: 1e-10,
             }),
+            // v1 requests round-trip only when budget mirrors the
+            // deadline and priority is normal — exactly what a v1
+            // encoder produces and a v1 decode reconstructs.
             Message::ReadRequest(ReadRequest {
                 request_id: 7,
                 deadline_ms: 250,
+                budget_ms: 250,
+                priority: 0,
                 ids: vec![0, 99, 3, 3],
             }),
-            Message::ReadRequest(ReadRequest { request_id: 8, deadline_ms: 0, ids: vec![] }),
+            Message::ReadRequest(ReadRequest {
+                request_id: 8,
+                deadline_ms: 0,
+                budget_ms: 0,
+                priority: 0,
+                ids: vec![],
+            }),
+            Message::ReadRequestV2(ReadRequest {
+                request_id: 9,
+                deadline_ms: 250,
+                budget_ms: 117,
+                priority: 1,
+                ids: vec![5, 5, 0],
+            }),
+            Message::Overloaded(Overloaded {
+                request_id: 10,
+                reason: OverloadReason::Shed,
+                retry_after_ms: 12,
+            }),
+            Message::Overloaded(Overloaded {
+                request_id: 11,
+                reason: OverloadReason::Draining,
+                retry_after_ms: 0,
+            }),
+            Message::StatsRequestV2,
+            Message::StatsResponseV2(WireStats {
+                requests: 1,
+                blocks: 2,
+                store_reads: 3,
+                transient_retries: 4,
+                backoff_us: 5,
+                blocks_repaired: 6,
+                blocks_dropped: 7,
+                cache_hits: 8,
+                cache_misses: 9,
+                shed: 10,
+                refused_draining: 11,
+                admitted: 12,
+            }),
             Message::ReadResponse(ReadResponse {
                 request_id: 7,
                 blocks: vec![
@@ -587,6 +812,7 @@ mod tests {
                 blocks_dropped: 7,
                 cache_hits: 8,
                 cache_misses: 9,
+                ..WireStats::default()
             }),
         ]
     }
@@ -603,9 +829,11 @@ mod tests {
         // Flip each bit of a small frame: every mutation must surface
         // as a structured FrameError, never a silently different
         // message or a panic.
-        let msg = Message::ReadRequest(ReadRequest {
+        let msg = Message::ReadRequestV2(ReadRequest {
             request_id: 42,
             deadline_ms: 100,
+            budget_ms: 80,
+            priority: 0,
             ids: vec![5, 6],
         });
         let clean = frame_bytes(&msg).unwrap();
@@ -652,7 +880,13 @@ mod tests {
 
         // A huge id count inside a tiny payload: rebuild the CRC so the
         // count check itself must catch it.
-        let msg = Message::ReadRequest(ReadRequest { request_id: 1, deadline_ms: 1, ids: vec![] });
+        let msg = Message::ReadRequest(ReadRequest {
+            request_id: 1,
+            deadline_ms: 1,
+            budget_ms: 1,
+            priority: 0,
+            ids: vec![],
+        });
         let mut frame = frame_bytes(&msg).unwrap();
         let count_off = HEADER_LEN + 8 + 4;
         frame[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
@@ -676,8 +910,8 @@ mod tests {
         assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::BadReserved));
 
         let mut frame = frame_bytes(&Message::StatsRequest).unwrap();
-        frame[4] = 9;
-        assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::UnknownKind(9)));
+        frame[4] = 10;
+        assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::UnknownKind(10)));
     }
 
     #[test]
@@ -714,15 +948,50 @@ mod tests {
             // message, or every slot full values — whichever is wider.
             let per_slot = 5 + (8 * values).max(MAX_BLOCK_ERROR_MESSAGE);
             assert!(12 + n * per_slot <= cap, "values={values} cap={cap} n={n}");
-            assert!(16 + n * 8 <= cap, "request side: values={values} cap={cap} n={n}");
+            // Request side is budgeted for the wider v2 layout.
+            assert!(21 + n * 8 <= cap, "request side: values={values} cap={cap} n={n}");
             // And n is maximal: one more block would overflow a side.
             assert!(
-                12 + (n + 1) * per_slot > cap || 16 + (n + 1) * 8 > cap,
+                12 + (n + 1) * per_slot > cap || 21 + (n + 1) * 8 > cap,
                 "values={values} cap={cap} n={n} not maximal"
             );
         }
         // A block too large to ever fit one frame yields 0, not a lie.
         assert_eq!(max_ids_per_read(MAX_FRAME_PAYLOAD as usize, usize::MAX), 0);
+    }
+
+    #[test]
+    fn v1_frames_carry_no_v2_fields_and_decode_with_defaults() {
+        // A v2 request downgraded to a v1 frame drops budget/priority
+        // on the wire; decoding reconstructs the v1 defaults. This is
+        // the frame-level contract version negotiation relies on.
+        let rq = ReadRequest {
+            request_id: 3,
+            deadline_ms: 500,
+            budget_ms: 123,
+            priority: 1,
+            ids: vec![1, 2],
+        };
+        let v1 = frame_bytes(&Message::ReadRequest(rq.clone())).unwrap();
+        let v2 = frame_bytes(&Message::ReadRequestV2(rq)).unwrap();
+        assert_eq!(v2.len(), v1.len() + 5, "v2 adds budget (4) + priority (1)");
+        match read_frame(&mut &v1[..]).unwrap() {
+            Message::ReadRequest(got) => {
+                assert_eq!(got.budget_ms, got.deadline_ms);
+                assert_eq!(got.priority, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And v1 stats zero the admission counters.
+        let full = WireStats { requests: 7, shed: 9, refused_draining: 2, admitted: 5, ..WireStats::default() };
+        let v1_stats = frame_bytes(&Message::StatsResponse(full)).unwrap();
+        match read_frame(&mut &v1_stats[..]).unwrap() {
+            Message::StatsResponse(got) => {
+                assert_eq!(got.requests, 7);
+                assert_eq!((got.shed, got.refused_draining, got.admitted), (0, 0, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

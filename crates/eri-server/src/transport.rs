@@ -28,6 +28,19 @@
 //!   per-block errors instead of an oversized frame the client would
 //!   reject as corrupt (conforming clients chunk with
 //!   [`crate::protocol::max_ids_per_read`] and never trip this).
+//! * **Overload sheds, never stalls.** Every read request passes
+//!   admission control ([`crate::admission`]): a global in-flight
+//!   permit budget, a per-connection limit, a response-bytes budget,
+//!   and a deadline-aware queue that refuses a request *immediately*
+//!   when its estimated wait exceeds the deadline budget it carried.
+//!   A shed surfaces as an `Overloaded` frame with a retry-after hint
+//!   to v2 peers, and as structured per-block `Io` errors to v1 peers
+//!   (who cannot parse the new kind) — never as a silent timeout.
+//! * **Drain, don't drop.** [`StopHandle::drain`] stops admitting,
+//!   refuses new requests with a `Draining` status, waits for every
+//!   admitted request to finish, then stops the listener. The
+//!   admission books (`admitted == completed`) prove no accepted
+//!   request was dropped.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -37,9 +50,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::admission::{
+    Admission, AdmissionConfig, AdmissionController, DrainOutcome, InjectedLoad, OverloadInject,
+    Permit,
+};
 use crate::protocol::{
-    self, BlockErrorKind, FrameError, FrameHeader, Hello, Message, ReadResponse, WireBlock,
-    WireStats, HEADER_LEN, PROTO_VERSION,
+    self, BlockErrorKind, FrameError, FrameHeader, Hello, Message, Overloaded, ReadRequest,
+    ReadResponse, WireBlock, WireStats, HEADER_LEN, PROTO_VERSION,
 };
 use crate::{ServerError, ServerHandle};
 
@@ -164,7 +181,7 @@ enum Listener {
 }
 
 /// Tunables for the serving loop.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// How often idle handlers / the accept loop check the stop flag.
     pub idle_poll: Duration,
@@ -173,6 +190,23 @@ pub struct ServeOptions {
     pub frame_timeout: Duration,
     /// Budget for writing a response back.
     pub write_timeout: Duration,
+    /// Admission-control limits (permits, queue, bytes, per-conn).
+    pub admission: AdmissionConfig,
+    /// Seeded overload injector (soak/bench only): forces
+    /// deterministic sheds and slow-handler delays.
+    pub inject: Option<Arc<dyn OverloadInject>>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("idle_poll", &self.idle_poll)
+            .field("frame_timeout", &self.frame_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("admission", &self.admission)
+            .field("inject", &self.inject.as_ref().map(|_| "<injector>"))
+            .finish()
+    }
 }
 
 impl Default for ServeOptions {
@@ -181,6 +215,8 @@ impl Default for ServeOptions {
             idle_poll: Duration::from_millis(50),
             frame_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            admission: AdmissionConfig::default(),
+            inject: None,
         }
     }
 }
@@ -191,6 +227,7 @@ impl Default for ServeOptions {
 pub struct StopHandle {
     stop: Arc<AtomicBool>,
     ep: Endpoint,
+    admission: Arc<AdmissionController>,
 }
 
 impl StopHandle {
@@ -202,6 +239,33 @@ impl StopHandle {
         if let Ok(c) = Conn::connect(&self.ep, Duration::from_millis(200)) {
             let _ = c.shutdown();
         }
+    }
+
+    /// Stops admitting *without* stopping the listener: new and queued
+    /// requests get a structured `Draining` refusal while requests
+    /// already holding a permit run to completion. Use
+    /// [`StopHandle::drain`] for the full drain-then-stop sequence.
+    pub fn begin_drain(&self) {
+        self.admission.begin_drain();
+    }
+
+    /// Graceful shutdown: stop admitting, wait (up to `deadline`) for
+    /// every admitted request to finish, then stop the listener. The
+    /// returned books prove no admitted request was dropped:
+    /// `outcome.stats.admitted == outcome.stats.completed` whenever
+    /// `outcome.complete`.
+    pub fn drain(&self, deadline: Duration) -> DrainOutcome {
+        self.admission.begin_drain();
+        let outcome = self.admission.await_drained(deadline);
+        self.stop();
+        outcome
+    }
+
+    /// The admission controller behind this server (drain books,
+    /// shed counters).
+    #[must_use]
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 }
 
@@ -215,6 +279,7 @@ pub struct TransportServer {
     local: Endpoint,
     opts: ServeOptions,
     conns_served: AtomicU64,
+    admission: Arc<AdmissionController>,
 }
 
 impl TransportServer {
@@ -270,6 +335,7 @@ impl TransportServer {
                 (Listener::Unix(UnixListener::bind(path)?), Endpoint::Unix(path.clone()))
             }
         };
+        let admission = Arc::new(AdmissionController::new(opts.admission.clone()));
         Ok(TransportServer {
             listener,
             handle,
@@ -277,6 +343,7 @@ impl TransportServer {
             local,
             opts,
             conns_served: AtomicU64::new(0),
+            admission,
         })
     }
 
@@ -286,10 +353,20 @@ impl TransportServer {
         self.local.clone()
     }
 
-    /// Handle for stopping this server from another thread.
+    /// Handle for stopping or draining this server from another thread.
     #[must_use]
     pub fn stop_handle(&self) -> StopHandle {
-        StopHandle { stop: Arc::clone(&self.stop), ep: self.local.clone() }
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            ep: self.local.clone(),
+            admission: Arc::clone(&self.admission),
+        }
+    }
+
+    /// The admission controller (shed counters, drain books).
+    #[must_use]
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 
     /// Connections accepted so far.
@@ -352,8 +429,10 @@ impl TransportServer {
             let handle = Arc::clone(&self.handle);
             let stop = Arc::clone(&self.stop);
             let opts = self.opts.clone();
+            let admission = Arc::clone(&self.admission);
+            let conn_id = accepted;
             handlers.push(std::thread::spawn(move || {
-                handle_conn(conn, &handle, &stop, &opts);
+                handle_conn(conn, &handle, &stop, &opts, &admission, conn_id);
             }));
         }
         for h in handlers {
@@ -467,9 +546,10 @@ fn block_error(e: &ServerError) -> WireBlock {
     WireBlock::Error { kind, message: protocol::clamp_block_error_message(e.to_string()) }
 }
 
-fn wire_stats(handle: &ServerHandle) -> WireStats {
+fn wire_stats(handle: &ServerHandle, admission: &AdmissionController) -> WireStats {
     let s = handle.stats();
     let c = handle.cache_stats();
+    let a = admission.stats();
     WireStats {
         requests: s.requests,
         blocks: s.blocks,
@@ -480,17 +560,143 @@ fn wire_stats(handle: &ServerHandle) -> WireStats {
         blocks_dropped: s.reads.blocks_dropped,
         cache_hits: c.hits,
         cache_misses: c.misses,
+        shed: a.shed,
+        refused_draining: a.refused_draining,
+        admitted: a.admitted,
     }
 }
 
-fn handle_conn(mut conn: Conn, handle: &ServerHandle, stop: &AtomicBool, opts: &ServeOptions) {
+/// A shed reply the peer can parse: v2 peers get the `Overloaded`
+/// frame (reason + retry-after hint); v1 peers — who would reject
+/// kind 7 as an unknown frame — get structured per-block `Io` errors
+/// carrying the same story in the first slot.
+fn shed_reply(rq: &ReadRequest, peer_version: u32, cause: crate::admission::ShedCause, retry_after: Duration) -> Message {
+    let retry_after_ms = u32::try_from(retry_after.as_millis()).unwrap_or(u32::MAX);
+    if peer_version >= 2 {
+        return Message::Overloaded(Overloaded {
+            request_id: rq.request_id,
+            reason: cause.reason(),
+            retry_after_ms,
+        });
+    }
+    let blocks = (0..rq.ids.len())
+        .map(|i| WireBlock::Error {
+            kind: BlockErrorKind::Io,
+            message: if i == 0 {
+                protocol::clamp_block_error_message(format!(
+                    "server {}: retry after {retry_after_ms} ms",
+                    cause.reason()
+                ))
+            } else {
+                String::new()
+            },
+        })
+        .collect();
+    Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks })
+}
+
+/// Request key for the overload injector: order-sensitive fold of the
+/// id list, so "the same batch retried" maps to the same seeded
+/// decision sequence.
+fn request_key(ids: &[u64]) -> u64 {
+    let mut k = 0x9E37_79B9_7F4A_7C15;
+    for &id in ids {
+        k = durable::retry::splitmix64(k ^ id.wrapping_add(1));
+    }
+    k
+}
+
+/// Serves one read request through admission control. Returns the
+/// reply plus the permit still held (dropped by the caller *after* the
+/// response is written, so drain accounting covers the write).
+#[allow(clippy::too_many_arguments)]
+fn serve_read<'a>(
+    rq: &ReadRequest,
+    peer_version: u32,
+    handle: &ServerHandle,
+    admission: &'a AdmissionController,
+    inject: Option<&InjectedLoad>,
+    batch_cap: usize,
+    values_per_block: usize,
+    conn_id: u64,
+) -> (Message, Option<Permit<'a>>) {
+    telemetry::counter_add("rpc.requests", 1);
+    let _span = telemetry::span("rpc.request");
+    if rq.ids.len() > batch_cap {
+        // The worst-case response would blow the frame cap: degrade to
+        // per-block errors (explained once, in the first slot — an
+        // all-messages response for a maximal request would itself
+        // blow the cap) instead of encoding an oversized frame the
+        // client would have to reject as corrupt.
+        let blocks = (0..rq.ids.len())
+            .map(|i| WireBlock::Error {
+                kind: BlockErrorKind::Io,
+                message: if i == 0 {
+                    format!(
+                        "batch of {} blocks exceeds the {batch_cap}-block \
+                         frame budget; split the request",
+                        rq.ids.len()
+                    )
+                } else {
+                    String::new()
+                },
+            })
+            .collect();
+        return (Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks }), None);
+    }
+    if let Some(load) = inject {
+        if load.shed {
+            admission.record_injected_shed();
+            return (
+                shed_reply(rq, peer_version, crate::admission::ShedCause::Injected, load.retry_after),
+                None,
+            );
+        }
+    }
+    // Worst-case bytes this response may pin while in flight.
+    let per_slot = 5 + (8 * values_per_block).max(protocol::MAX_BLOCK_ERROR_MESSAGE);
+    let bytes = 12 + rq.ids.len() * per_slot;
+    let budget = Duration::from_millis(u64::from(rq.budget_ms));
+    let permit =
+        match admission.admit_with_priority(conn_id, budget, bytes, rq.priority) {
+            Admission::Admitted(p) => p,
+            Admission::Shed { cause, retry_after } => {
+                return (shed_reply(rq, peer_version, cause, retry_after), None)
+            }
+        };
+    if let Some(load) = inject {
+        if !load.delay.is_zero() {
+            // Slow-handler injection: burn service time while holding
+            // the permit, exactly what real store latency does.
+            std::thread::sleep(load.delay);
+        }
+    }
+    let ids: Vec<usize> = rq.ids.iter().map(|&id| id as usize).collect();
+    let blocks = handle
+        .read_blocks_each(&ids)
+        .into_iter()
+        .map(|r| match r {
+            Ok(b) => WireBlock::Values(b.to_vec()),
+            Err(e) => block_error(&e),
+        })
+        .collect();
+    (Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks }), Some(permit))
+}
+
+fn handle_conn(
+    mut conn: Conn,
+    handle: &ServerHandle,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
+    admission: &AdmissionController,
+    conn_id: u64,
+) {
     let geom = handle.geometry();
+    let values_per_block = geom.num_subblocks * geom.subblock_size;
     // The largest batch whose worst-case response still fits one frame;
     // conforming clients chunk to the same bound.
-    let batch_cap = protocol::max_ids_per_read(
-        geom.num_subblocks * geom.subblock_size,
-        protocol::MAX_FRAME_PAYLOAD as usize,
-    );
+    let batch_cap =
+        protocol::max_ids_per_read(values_per_block, protocol::MAX_FRAME_PAYLOAD as usize);
     let hello = Message::Hello(Hello {
         version: PROTO_VERSION,
         num_blocks: handle.num_blocks() as u64,
@@ -504,6 +710,10 @@ fn handle_conn(mut conn: Conn, handle: &ServerHandle, stop: &AtomicBool, opts: &
     {
         return;
     }
+    // Injector attempt counters: how many times this connection has
+    // presented each request key (pure per-connection state, so seeded
+    // decisions stay deterministic per client).
+    let mut inject_attempts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
     loop {
         let msg = match read_frame_polled(&mut conn, stop, opts) {
             Ok(Some(m)) => m,
@@ -519,49 +729,44 @@ fn handle_conn(mut conn: Conn, handle: &ServerHandle, stop: &AtomicBool, opts: &
                 return;
             }
         };
-        let reply = match msg {
-            Message::ReadRequest(rq) => {
-                telemetry::counter_add("rpc.requests", 1);
-                let _span = telemetry::span("rpc.request");
-                let blocks = if rq.ids.len() > batch_cap {
-                    // The worst-case response would blow the frame cap:
-                    // degrade to per-block errors (explained once, in
-                    // the first slot — an all-messages response for a
-                    // maximal request would itself blow the cap)
-                    // instead of encoding an oversized frame the
-                    // client would have to reject as corrupt.
-                    (0..rq.ids.len())
-                        .map(|i| WireBlock::Error {
-                            kind: BlockErrorKind::Io,
-                            message: if i == 0 {
-                                format!(
-                                    "batch of {} blocks exceeds the {batch_cap}-block \
-                                     frame budget; split the request",
-                                    rq.ids.len()
-                                )
-                            } else {
-                                String::new()
-                            },
-                        })
-                        .collect()
-                } else {
-                    let ids: Vec<usize> = rq.ids.iter().map(|&id| id as usize).collect();
-                    handle
-                        .read_blocks_each(&ids)
-                        .into_iter()
-                        .map(|r| match r {
-                            Ok(b) => WireBlock::Values(b.to_vec()),
-                            Err(e) => block_error(&e),
-                        })
-                        .collect()
-                };
-                Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks })
+        let (reply, permit) = match msg {
+            Message::ReadRequest(ref rq) | Message::ReadRequestV2(ref rq) => {
+                let peer_version = if matches!(msg, Message::ReadRequestV2(_)) { 2 } else { 1 };
+                let load = opts.inject.as_ref().map(|i| {
+                    let key = request_key(&rq.ids);
+                    let attempt = inject_attempts.entry(key).or_insert(0);
+                    let decision = i.decide(key, *attempt);
+                    *attempt += 1;
+                    decision
+                });
+                serve_read(
+                    rq,
+                    peer_version,
+                    handle,
+                    admission,
+                    load.as_ref(),
+                    batch_cap,
+                    values_per_block,
+                    conn_id,
+                )
             }
-            Message::StatsRequest => Message::StatsResponse(wire_stats(handle)),
+            Message::StatsRequest => (Message::StatsResponse(wire_stats(handle, admission)), None),
+            Message::StatsRequestV2 => {
+                (Message::StatsResponseV2(wire_stats(handle, admission)), None)
+            }
             // Only clients send these; a peer that does is broken.
-            Message::Hello(_) | Message::ReadResponse(_) | Message::StatsResponse(_) => return,
+            Message::Hello(_)
+            | Message::ReadResponse(_)
+            | Message::StatsResponse(_)
+            | Message::Overloaded(_)
+            | Message::StatsResponseV2(_) => return,
         };
-        if protocol::write_frame(&mut conn, &reply).is_err() || conn.flush().is_err() {
+        let wrote =
+            protocol::write_frame(&mut conn, &reply).is_ok() && conn.flush().is_ok();
+        // The permit spans the response write: "admitted" means the
+        // reply left the server, so drain can never cut one off.
+        drop(permit);
+        if !wrote {
             return;
         }
     }

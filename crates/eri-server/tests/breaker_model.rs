@@ -1,0 +1,209 @@
+//! Model-based proptests for the client circuit breaker as a
+//! standalone unit (DESIGN §14), mirroring `cache_model.rs`.
+//!
+//! An independent reference model — a three-state machine over a plain
+//! `Vec` of failure timestamps, pruned by filtering rather than the
+//! breaker's deque arithmetic — is replayed op-for-op against the real
+//! [`Breaker`]. Divergence anywhere (a probe the model would refuse, a
+//! transition the model didn't see, a drifted transition tally) fails
+//! the case. On top of op-level agreement, the suite pins the
+//! documented invariants:
+//!
+//! * an open breaker refuses every attempt until its cooldown elapses,
+//!   and `retry_in_us` plus the elapsed cooldown always equals the
+//!   configured cooldown,
+//! * transition algebra: every half-open needs a prior open and every
+//!   close needs a prior half-open (`half_opened <= opened`,
+//!   `closed <= half_opened`),
+//! * the only transition `allow` can report is `HalfOpened`, and the
+//!   only time it does so is when it returns `true` from `Open`,
+//! * a same-seed replay yields bit-identical transition counts — the
+//!   determinism the soak overload storm gates on.
+//!
+//! Timestamps are monotone non-decreasing, matching the breaker's
+//! contract (the client feeds it a monotone clock).
+
+use durable::retry::splitmix64;
+use eri_server::{Breaker, BreakerConfig, BreakerState, Transition};
+
+/// Independent reference: failures kept in a `Vec`, window applied by
+/// filtering, state held as a plain enum.
+struct Model {
+    cfg: BreakerConfig,
+    state: RefState,
+    fails: Vec<u64>,
+    opened: u64,
+    half_opened: u64,
+    closed: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RefState {
+    Closed,
+    Open(u64),
+    HalfOpen,
+}
+
+impl Model {
+    fn new(cfg: BreakerConfig) -> Self {
+        Model { cfg, state: RefState::Closed, fails: Vec::new(), opened: 0, half_opened: 0, closed: 0 }
+    }
+
+    fn state(&self) -> BreakerState {
+        match self.state {
+            RefState::Closed => BreakerState::Closed,
+            RefState::Open(_) => BreakerState::Open,
+            RefState::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    fn allow(&mut self, now: u64) -> (bool, Option<Transition>) {
+        match self.state {
+            RefState::Closed | RefState::HalfOpen => (true, None),
+            RefState::Open(since) => {
+                if now.saturating_sub(since) >= self.cfg.cooldown_us {
+                    self.state = RefState::HalfOpen;
+                    self.half_opened += 1;
+                    (true, Some(Transition::HalfOpened))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    fn retry_in(&self, now: u64) -> u64 {
+        match self.state {
+            RefState::Open(since) => self.cfg.cooldown_us.saturating_sub(now.saturating_sub(since)),
+            _ => 0,
+        }
+    }
+
+    fn record(&mut self, success: bool, now: u64) -> Option<Transition> {
+        match self.state {
+            RefState::HalfOpen => {
+                if success {
+                    self.state = RefState::Closed;
+                    self.fails.clear();
+                    self.closed += 1;
+                    Some(Transition::Closed)
+                } else {
+                    self.state = RefState::Open(now);
+                    self.opened += 1;
+                    Some(Transition::Opened)
+                }
+            }
+            RefState::Closed => {
+                if success {
+                    return None;
+                }
+                self.fails.push(now);
+                let horizon = now.saturating_sub(self.cfg.window_us);
+                self.fails.retain(|&t| t >= horizon);
+                if self.fails.len() as u32 >= self.cfg.failure_threshold {
+                    self.state = RefState::Open(now);
+                    self.fails.clear();
+                    self.opened += 1;
+                    Some(Transition::Opened)
+                } else {
+                    None
+                }
+            }
+            RefState::Open(_) => None, // late outcomes from pre-trip attempts
+        }
+    }
+}
+
+/// Replays `ops` seeded operations against a fresh breaker, checking
+/// the model at every step when `check`, and returns the final
+/// transition tally.
+fn replay(seed: u64, cfg: &BreakerConfig, ops: usize, check: bool) -> (u64, u64, u64) {
+    let mut b = Breaker::new(cfg.clone());
+    let mut m = Model::new(cfg.clone());
+    let mut now = 0u64;
+    for i in 0..ops {
+        let r = splitmix64(seed ^ splitmix64(i as u64 + 1));
+        now += r % 600; // monotone clock, 0..599 µs steps
+        match (r >> 32) % 3 {
+            0 => {
+                let got = b.allow(now);
+                let want = m.allow(now);
+                if check {
+                    assert_eq!(got, want, "op {i}: allow({now}) diverged (seed {seed})");
+                    // `allow` may only ever report the probe admission,
+                    // and only alongside a `true`.
+                    if let (ok, Some(t)) = got {
+                        assert!(ok && t == Transition::HalfOpened, "op {i}: bogus allow transition");
+                    }
+                }
+            }
+            1 => {
+                let success = r >> 48 & 1 == 0;
+                let got = b.record(success, now);
+                let want = m.record(success, now);
+                if check {
+                    assert_eq!(got, want, "op {i}: record({success}, {now}) diverged (seed {seed})");
+                }
+            }
+            _ => {
+                if check {
+                    assert_eq!(
+                        b.retry_in_us(now),
+                        m.retry_in(now),
+                        "op {i}: retry_in_us({now}) diverged (seed {seed})"
+                    );
+                }
+            }
+        }
+        if check {
+            assert_eq!(b.state(), m.state(), "op {i}: state diverged (seed {seed})");
+            let c = b.counts();
+            assert_eq!((c.opened, c.half_opened, c.closed), (m.opened, m.half_opened, m.closed));
+            // Transition algebra: every half-open needs a prior open,
+            // every close a prior half-open.
+            assert!(c.half_opened <= c.opened, "half-opened without an open");
+            assert!(c.closed <= c.half_opened, "closed without a half-open");
+            // An open breaker is honest about when it will probe: a
+            // positive retry-in means the cooldown has not elapsed.
+            if b.state() == BreakerState::Open {
+                assert!(b.retry_in_us(now) <= cfg.cooldown_us, "retry_in past the cooldown");
+            }
+        }
+    }
+    let c = b.counts();
+    if check {
+        let m2 = (m.opened, m.half_opened, m.closed);
+        assert_eq!((c.opened, c.half_opened, c.closed), m2);
+    }
+    (c.opened, c.half_opened, c.closed)
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn breaker_agrees_with_the_reference_model(
+        seed in proptest::prelude::any::<u64>(),
+        failure_threshold in 1u32..6,
+        window_us in 1u64..5_000,
+        cooldown_us in 0u64..2_000,
+        ops in 1usize..500,
+    ) {
+        let cfg = BreakerConfig { failure_threshold, window_us, cooldown_us };
+        replay(seed, &cfg, ops, true);
+    }
+
+    #[test]
+    fn same_seed_replay_has_identical_transition_counts(
+        seed in proptest::prelude::any::<u64>(),
+        failure_threshold in 1u32..6,
+        window_us in 1u64..5_000,
+        cooldown_us in 0u64..2_000,
+        ops in 1usize..500,
+    ) {
+        let cfg = BreakerConfig { failure_threshold, window_us, cooldown_us };
+        let a = replay(seed, &cfg, ops, false);
+        let b = replay(seed, &cfg, ops, false);
+        assert_eq!(a, b, "same seed must replay to bit-identical transition counts");
+    }
+}

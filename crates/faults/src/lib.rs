@@ -29,6 +29,7 @@
 
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 
+pub mod overload;
 pub mod proxy;
 
 pub use proxy::{FaultyProxy, ProxyFaultConfig, ProxyTallies, WireFault};

@@ -266,7 +266,7 @@ fn plan_fault(state: &ProxyState, k: u64) -> Option<(WireFault, u64)> {
     if cfg.faulty_every == 0 || cfg.classes.is_empty() {
         return None;
     }
-    if (k + 1) % u64::from(cfg.faulty_every) != 0 {
+    if !(k + 1).is_multiple_of(u64::from(cfg.faulty_every)) {
         return None;
     }
     // Claim one unit of fault budget; back out if it's spent.

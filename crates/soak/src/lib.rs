@@ -54,7 +54,8 @@ pub mod transport;
 
 pub use report::{GateResult, SoakReport, Tallies};
 pub use transport::{
-    run_transport, TransportReport, TransportSloGates, TransportStormConfig, TransportTallies,
+    run_transport, OverloadStormConfig, OverloadTallies, TransportReport, TransportSloGates,
+    TransportStormConfig, TransportTallies,
 };
 
 /// Relative weights of the operation kinds in the workload mix.

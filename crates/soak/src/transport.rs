@@ -19,10 +19,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use durable::retry::{splitmix64, RetryPolicy};
+use eri_server::transport::ServeOptions;
 use eri_server::{
-    ClientConfig, Endpoint, RemoteClient, ServerConfig, ServerHandle, TransportServer,
+    AdmissionConfig, BreakerConfig, ClientConfig, Endpoint, InjectedLoad, OverloadInject,
+    RemoteClient, ServerConfig, ServerHandle, TransportServer,
 };
 use eri_store::{StoreReader, StoreWriter};
+use faults::overload::{OverloadConfig, OverloadInjector};
 use faults::{FaultyProxy, ProxyFaultConfig, ProxyTallies, WireFault};
 use pastri::BlockGeometry;
 
@@ -40,6 +43,15 @@ pub struct TransportSloGates {
     /// Total `rpc.frame_errors` (corrupt frames detected) must not
     /// exceed this.
     pub max_frame_errors: Option<u64>,
+    /// Overload mode: sheds per planned request must not exceed this
+    /// rate (e.g. 0.5 = at most one shed per two planned requests).
+    pub max_shed_rate: Option<f64>,
+    /// Overload mode: p99 of the `server.queue_wait_us` histogram must
+    /// be at or below this.
+    pub queue_wait_p99_us: Option<u64>,
+    /// Overload mode: total breaker `Opened` transitions across all
+    /// clients must not exceed this.
+    pub max_breaker_opened: Option<u64>,
 }
 
 /// Full configuration of one transport storm.
@@ -74,6 +86,70 @@ pub struct TransportStormConfig {
     pub slo: TransportSloGates,
     /// Keep replica stores on disk after the run.
     pub keep_artifacts: bool,
+    /// Overload mode: when set, the storm runs *without* wire-fault
+    /// proxies (the wire is clean) and instead installs a seeded
+    /// overload injector on the server plus circuit breakers in the
+    /// clients, ending with a graceful drain instead of an abrupt stop.
+    pub overload: Option<OverloadStormConfig>,
+}
+
+/// Settings for an overload storm (see [`TransportStormConfig::overload`]).
+#[derive(Debug, Clone)]
+pub struct OverloadStormConfig {
+    /// Seeded forced-shed / slow-handler plan installed on the server.
+    pub inject: OverloadConfig,
+    /// Client circuit-breaker tuning. The defaults here are
+    /// *count-driven* (infinite window, zero cooldown) so breaker
+    /// transitions are a pure function of each client's outcome
+    /// sequence — which the injector makes a pure function of the seed.
+    pub breaker: BreakerConfig,
+    /// Server admission tuning. Defaults are generous enough that the
+    /// only sheds in the storm are the injected ones (organic shedding
+    /// is exercised by directed admission tests instead — mixing the
+    /// two would make the tallies timing-dependent).
+    pub admission: AdmissionConfig,
+    /// Budget for the end-of-run graceful drain.
+    pub drain_deadline: Duration,
+}
+
+impl Default for OverloadStormConfig {
+    fn default() -> Self {
+        OverloadStormConfig {
+            inject: OverloadConfig::default(),
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                window_us: u64::MAX,
+                cooldown_us: 0,
+            },
+            admission: AdmissionConfig::default(),
+            drain_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Deterministic overload accounting: in overload mode every one of
+/// these is a pure function of the seed (asserted by the determinism
+/// test at 1 and 4 rayon threads — the storm uses plain threads, so
+/// the pool shape is irrelevant by construction, which is the point).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadTallies {
+    /// Structured `Overloaded` refusals observed by the clients.
+    pub client_overloaded: u64,
+    /// Requests the server shed (injected + organic).
+    pub server_shed: u64,
+    /// Requests the server admitted.
+    pub server_admitted: u64,
+    /// Admitted requests the server finished. Equal to
+    /// `server_admitted` after a complete drain: nothing dropped.
+    pub server_completed: u64,
+    /// Requests refused because the server was draining.
+    pub refused_draining: u64,
+    /// Breaker transitions summed across clients in index order.
+    pub breaker_opened: u64,
+    pub breaker_half_opened: u64,
+    pub breaker_closed: u64,
+    /// The graceful drain finished inside its deadline.
+    pub drain_complete: bool,
 }
 
 impl TransportStormConfig {
@@ -103,6 +179,23 @@ impl TransportStormConfig {
             deadline: Duration::from_secs(20),
             slo: TransportSloGates::default(),
             keep_artifacts: false,
+            overload: None,
+        }
+    }
+
+    /// A small, fast default *overload* storm in `dir`: one replica
+    /// (no wire faults), seeded forced sheds + slow handlers on the
+    /// server, circuit breakers in the clients, graceful drain at the
+    /// end. One replica because hedged failover racing half-open
+    /// probes is genuinely timing-dependent — multi-replica breaker
+    /// behaviour is covered by directed tests; the storm's job is
+    /// bit-identical tallies.
+    #[must_use]
+    pub fn overload_storm(dir: &Path, seed: u64) -> Self {
+        Self {
+            replicas: 1,
+            overload: Some(OverloadStormConfig::default()),
+            ..Self::storm(dir, seed)
         }
     }
 }
@@ -165,6 +258,11 @@ pub struct TransportReport {
     pub gates: Vec<GateResult>,
     /// p99 of `rpc.rtt_us`, when any request succeeded.
     pub rpc_p99_us: Option<u64>,
+    /// Overload-mode accounting (seed-deterministic); `None` in
+    /// wire-fault mode.
+    pub overload: Option<OverloadTallies>,
+    /// p99 of `server.queue_wait_us` (overload mode).
+    pub queue_wait_p99_us: Option<u64>,
     /// Wall time of the whole storm.
     pub wall: Duration,
 }
@@ -184,10 +282,23 @@ impl TransportReport {
         self.gates.iter().all(|g| g.pass)
     }
 
+    /// Overload-mode soundness: the drain finished with the books
+    /// balanced (no admitted request dropped) and every server-side
+    /// shed surfaced at a client as a structured `Overloaded` error —
+    /// never a silent timeout. Trivially true in wire-fault mode.
+    #[must_use]
+    pub fn overload_sound(&self) -> bool {
+        self.overload.is_none_or(|o| {
+            o.drain_complete
+                && o.server_admitted == o.server_completed
+                && o.client_overloaded == o.server_shed
+        })
+    }
+
     /// The storm's overall verdict.
     #[must_use]
     pub fn passed(&self) -> bool {
-        self.zero_data_loss() && self.all_gates_pass()
+        self.zero_data_loss() && self.all_gates_pass() && self.overload_sound()
     }
 
     /// Machine-readable report (`BENCH_transport_soak.json` by default):
@@ -233,6 +344,21 @@ impl TransportReport {
             "  \"proxy\": {{\"conns\": {}, \"truncates\": {}, \"corrupts\": {}, \"drops\": {}, \"stalls\": {}, \"resets\": {}}},\n",
             p.conns, p.truncates, p.corrupts, p.drops, p.stalls, p.resets,
         ));
+        if let Some(o) = &self.overload {
+            // Like "tallies": bit-identical across same-seed runs.
+            s.push_str(&format!(
+                "  \"overload\": {{\"client_overloaded\": {}, \"server_shed\": {}, \"server_admitted\": {}, \"server_completed\": {}, \"refused_draining\": {}, \"breaker_opened\": {}, \"breaker_half_opened\": {}, \"breaker_closed\": {}, \"drain_complete\": {}}},\n",
+                o.client_overloaded,
+                o.server_shed,
+                o.server_admitted,
+                o.server_completed,
+                o.refused_draining,
+                o.breaker_opened,
+                o.breaker_half_opened,
+                o.breaker_closed,
+                o.drain_complete,
+            ));
+        }
         s.push_str("  \"slo\": [");
         for (i, g) in self.gates.iter().enumerate() {
             if i > 0 {
@@ -261,7 +387,7 @@ impl TransportReport {
 /// The planned batch for `(client, request)`: a pure function of the
 /// seed, independent of execution order.
 fn planned_batch(cfg: &TransportStormConfig, client: usize, request: usize) -> Vec<u64> {
-    let base = splitmix64(cfg.seed ^ splitmix64((client as u64) << 20 | request as u64 + 1));
+    let base = splitmix64(cfg.seed ^ splitmix64(((client as u64) << 20) | (request as u64 + 1)));
     let n = (splitmix64(base ^ 0xBA7C) % cfg.max_batch.max(1) as u64) as usize + 1;
     (0..n)
         .map(|k| splitmix64(base ^ (k as u64 + 1)) % cfg.scale as u64)
@@ -324,7 +450,9 @@ fn run_transport_inner(
         .collect::<Result<_, _>>()?;
     drop(direct);
 
-    // Servers and their fault proxies, one pair per replica.
+    // Servers, one per replica. Wire-fault mode interposes a seeded
+    // fault proxy per replica; overload mode serves on a clean wire
+    // and instead installs the seeded overload injector in-process.
     let mut servers = Vec::new();
     let mut proxies = Vec::new();
     let mut endpoints = Vec::new();
@@ -333,20 +461,43 @@ fn run_transport_inner(
             ServerHandle::open(&[store_path(r)], &ServerConfig::default())
                 .map_err(|e| SoakError::Io(std::io::Error::other(e.to_string())))?,
         );
-        let srv = Arc::new(TransportServer::bind(
+        let opts = match &cfg.overload {
+            None => ServeOptions::default(),
+            Some(o) => {
+                let injector = OverloadInjector::new(
+                    splitmix64(cfg.seed ^ ((r as u64 + 1) * 0x0FE2_10AD)),
+                    o.inject.clone(),
+                );
+                let inject = move |key: u64, attempt: u32| {
+                    let d = injector.decide(key, attempt);
+                    InjectedLoad { shed: d.shed, retry_after: d.retry_after, delay: d.delay }
+                };
+                ServeOptions {
+                    admission: o.admission.clone(),
+                    inject: Some(Arc::new(inject) as Arc<dyn OverloadInject>),
+                    ..ServeOptions::default()
+                }
+            }
+        };
+        let srv = Arc::new(TransportServer::bind_with(
             &Endpoint::parse("tcp:127.0.0.1:0").expect("static endpoint"),
             handle,
+            opts,
         )?);
         let Endpoint::Tcp(addr) = srv.local_endpoint() else { unreachable!() };
         let stop = srv.stop_handle();
         let jh = Arc::clone(&srv).spawn(None);
-        let proxy = FaultyProxy::start(
-            &addr,
-            splitmix64(cfg.seed ^ (r as u64 + 1) * 0x9E37_79B9),
-            cfg.faults.clone(),
-        )?;
-        endpoints.push(Endpoint::Tcp(proxy.addr()));
-        proxies.push(proxy);
+        if cfg.overload.is_some() {
+            endpoints.push(Endpoint::Tcp(addr));
+        } else {
+            let proxy = FaultyProxy::start(
+                &addr,
+                splitmix64(cfg.seed ^ ((r as u64 + 1) * 0x9E37_79B9)),
+                cfg.faults.clone(),
+            )?;
+            endpoints.push(Endpoint::Tcp(proxy.addr()));
+            proxies.push(proxy);
+        }
         servers.push((stop, jh));
     }
 
@@ -369,6 +520,11 @@ fn run_transport_inner(
                         jitter_seed: Some(splitmix64(cfg.seed ^ (c as u64) << 33)),
                     },
                     hedge: true,
+                    // Wire-fault mode runs breaker-less so its tallies
+                    // stay bit-identical to the pre-breaker baseline;
+                    // overload mode turns it on with count-driven
+                    // tuning (see OverloadStormConfig).
+                    breaker: cfg.overload.as_ref().map(|o| o.breaker.clone()),
                     ..ClientConfig::default()
                 };
                 let mut o = ClientOutcome {
@@ -420,12 +576,31 @@ fn run_transport_inner(
     });
 
     // Teardown before reading the gates, so every proxy tally is final.
+    // Overload mode drains gracefully — the books it returns are the
+    // proof that no admitted request was dropped; fault mode keeps the
+    // abrupt stop it always had.
     let mut proxy_total = ProxyTallies::default();
     for p in proxies {
         proxy_total.add(&p.stop());
     }
+    let mut admission_total = eri_server::admission::AdmissionStats::default();
+    let mut drain_complete = true;
     for (stop, jh) in servers {
-        stop.stop();
+        let stats = match &cfg.overload {
+            Some(o) => {
+                let outcome = stop.drain(o.drain_deadline);
+                drain_complete &= outcome.complete;
+                outcome.stats
+            }
+            None => {
+                stop.stop();
+                stop.admission().stats()
+            }
+        };
+        admission_total.admitted += stats.admitted;
+        admission_total.completed += stats.completed;
+        admission_total.shed += stats.shed;
+        admission_total.refused_draining += stats.refused_draining;
         let _ = jh.join().expect("server thread");
     }
     if !cfg.keep_artifacts {
@@ -441,6 +616,7 @@ fn run_transport_inner(
         ..TransportTallies::default()
     };
     let mut recovery = RecoveryTallies::default();
+    let mut overload_t = OverloadTallies::default();
     for o in &outcomes {
         tallies.requests_ok += o.requests_ok;
         tallies.blocks_requested += o.blocks_requested;
@@ -452,13 +628,28 @@ fn run_transport_inner(
         recovery.hedges += o.stats.hedges;
         recovery.frame_errors += o.stats.frame_errors;
         recovery.deadline_exceeded += o.stats.deadline_exceeded;
+        overload_t.client_overloaded += o.stats.overloaded;
+        overload_t.breaker_opened += o.stats.breaker_opened;
+        overload_t.breaker_half_opened += o.stats.breaker_half_opened;
+        overload_t.breaker_closed += o.stats.breaker_closed;
     }
+    overload_t.server_shed = admission_total.shed;
+    overload_t.server_admitted = admission_total.admitted;
+    overload_t.server_completed = admission_total.completed;
+    overload_t.refused_draining = admission_total.refused_draining;
+    overload_t.drain_complete = drain_complete;
+    let overload = cfg.overload.as_ref().map(|_| overload_t);
 
     let snap = telemetry::snapshot();
     let rpc_p99_us = snap
         .histograms
         .iter()
         .find(|h| h.name == "rpc.rtt_us")
+        .and_then(|h| h.percentile_us(0.99));
+    let queue_wait_p99_us = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "server.queue_wait_us")
         .and_then(|h| h.percentile_us(0.99));
     let mut gates = Vec::new();
     if let Some(limit) = cfg.slo.rpc_p99_us {
@@ -488,6 +679,32 @@ fn run_transport_inner(
             pass: actual <= max,
         });
     }
+    if let Some(limit) = cfg.slo.max_shed_rate {
+        let actual = overload_t.server_shed as f64 / tallies.requests_planned.max(1) as f64;
+        gates.push(GateResult {
+            gate: "max_shed_rate",
+            threshold: limit,
+            actual: Some(actual),
+            pass: actual <= limit,
+        });
+    }
+    if let Some(limit) = cfg.slo.queue_wait_p99_us {
+        let actual = queue_wait_p99_us.map(|v| v as f64);
+        gates.push(GateResult {
+            gate: "queue_wait_p99_us",
+            threshold: limit as f64,
+            actual,
+            pass: actual.is_none_or(|v| v <= limit as f64),
+        });
+    }
+    if let Some(max) = cfg.slo.max_breaker_opened {
+        gates.push(GateResult {
+            gate: "max_breaker_opened",
+            threshold: max as f64,
+            actual: Some(overload_t.breaker_opened as f64),
+            pass: overload_t.breaker_opened <= max,
+        });
+    }
 
     Ok(TransportReport {
         seed: cfg.seed,
@@ -496,6 +713,8 @@ fn run_transport_inner(
         proxy: proxy_total,
         gates,
         rpc_p99_us,
+        overload,
+        queue_wait_p99_us,
         wall: started.elapsed(),
     })
 }
@@ -532,6 +751,55 @@ mod tests {
         assert_ne!(planned_batch(&cfg, 0, 0), planned_batch(&cfg, 1, 0));
         for id in planned_batch(&cfg, 3, 9) {
             assert!((id as usize) < cfg.scale);
+        }
+    }
+
+    #[test]
+    fn overload_storm_is_sound_and_seed_deterministic() {
+        let mut cfg = TransportStormConfig::overload_storm(&tmp("ovl-a"), 0x0F_F10AD);
+        cfg.clients = 3;
+        cfg.requests_per_client = 12;
+        let a = run_transport(&cfg).unwrap();
+        // Zero data loss even under forced sheds: every request rides
+        // its retries through to byte-identical service.
+        assert!(a.zero_data_loss(), "{:?}", a.tallies);
+        let ao = a.overload.expect("overload tallies present");
+        assert!(ao.server_shed > 0, "the injector must actually shed: {ao:?}");
+        // Every shed surfaced as a structured client-side refusal and
+        // the drain books balance (nothing admitted was dropped).
+        assert!(a.overload_sound(), "{ao:?}");
+        assert!(ao.drain_complete);
+        assert_eq!(ao.server_admitted, ao.server_completed);
+        // The breaker actually cycled: forced-shed bursts trip it open
+        // and the following success closes it.
+        assert!(ao.breaker_opened > 0, "{ao:?}");
+        assert_eq!(ao.breaker_opened, ao.breaker_half_opened, "every open probes");
+        assert_eq!(ao.breaker_half_opened, ao.breaker_closed, "every probe closes");
+
+        let mut cfg_b = cfg.clone();
+        cfg_b.dir = tmp("ovl-b");
+        let b = run_transport(&cfg_b).unwrap();
+        assert_eq!(a.tallies, b.tallies, "tallies are a pure function of the seed");
+        assert_eq!(
+            a.overload, b.overload,
+            "shed/breaker tallies are a pure function of the seed"
+        );
+    }
+
+    #[test]
+    fn overload_json_has_a_deterministic_overload_line() {
+        let mut cfg = TransportStormConfig::overload_storm(&tmp("ovl-json"), 0xBEEF);
+        cfg.clients = 2;
+        cfg.requests_per_client = 6;
+        cfg.slo.max_shed_rate = Some(1.0);
+        cfg.slo.queue_wait_p99_us = Some(5_000_000);
+        cfg.slo.max_breaker_opened = Some(10_000);
+        let r = run_transport(&cfg).unwrap();
+        let json = r.to_json(&cfg);
+        assert!(json.contains("\"overload\""), "{json}");
+        assert!(json.contains("\"drain_complete\": true"), "{json}");
+        for gate in ["max_shed_rate", "queue_wait_p99_us", "max_breaker_opened"] {
+            assert!(json.contains(gate), "{json}");
         }
     }
 

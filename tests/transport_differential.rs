@@ -115,7 +115,7 @@ fn remote_equals_inprocess_equals_direct_over_both_families() {
 
     for ep in [tcp_any(), Endpoint::Unix(sock.clone())] {
         let (local, stop, jh, handle) =
-            start_server(&[path.clone()], &ep, &ServerConfig::default());
+            start_server(std::slice::from_ref(&path), &ep, &ServerConfig::default());
         let mut client = RemoteClient::connect(&[local], ClientConfig::default()).unwrap();
         assert_eq!(client.num_blocks(), BLOCKS as u64);
         assert_eq!(client.hello().error_bound, EB);
@@ -148,7 +148,7 @@ fn every_fault_class_recovers_byte_identical() {
 
     for class in WireFault::ALL {
         let (local, stop, jh, _handle) =
-            start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+            start_server(std::slice::from_ref(&path), &tcp_any(), &ServerConfig::default());
         let upstream = match &local {
             Endpoint::Tcp(addr) => addr.clone(),
             other => panic!("expected tcp endpoint, got {other}"),
@@ -214,10 +214,10 @@ fn hedged_failover_serves_every_block_when_a_replica_dies_mid_batch() {
     let want: Vec<Vec<f64>> = ids.iter().map(|&i| direct.read_block(i).unwrap()).collect();
 
     let (ep_a, stop_a, jh_a, _ha) =
-        start_server(&[path_a.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path_a), &tcp_any(), &ServerConfig::default());
     let mut jh_a = Some(jh_a);
     let (ep_b, stop_b, jh_b, _hb) =
-        start_server(&[path_b.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path_b), &tcp_any(), &ServerConfig::default());
 
     let mut client = RemoteClient::connect(&[ep_a, ep_b], fault_client_cfg()).unwrap();
 
@@ -253,7 +253,7 @@ fn stall_past_deadline_is_an_error_not_a_hang() {
     let path = fixture(&dir, "stall.eristore");
 
     let (local, stop, jh, _handle) =
-        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path), &tcp_any(), &ServerConfig::default());
     let upstream = match &local {
         Endpoint::Tcp(addr) => addr.clone(),
         other => panic!("expected tcp endpoint, got {other}"),
@@ -330,7 +330,7 @@ fn repair_on_read_and_cache_admission_survive_the_wire() {
     assert_eq!(direct_stats.blocks_repaired, 1, "baseline heals exactly one block");
 
     let (local, stop, jh, handle) =
-        start_server(&[server_path.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&server_path), &tcp_any(), &ServerConfig::default());
     let mut client = RemoteClient::connect(&[local], ClientConfig::default()).unwrap();
 
     let wire_ids: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
@@ -379,7 +379,7 @@ fn per_block_errors_degrade_without_sinking_the_batch() {
     assert!(direct.read_block(shredded).is_err(), "shred must overwhelm parity");
 
     let (local, stop, jh, _handle) =
-        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path), &tcp_any(), &ServerConfig::default());
     let mut client = RemoteClient::connect(&[local], ClientConfig::default()).unwrap();
 
     // One batch holding a corrupt block, a healthy block, and an
@@ -422,7 +422,7 @@ fn whole_store_fetches_chunk_below_the_frame_cap_byte_identical() {
         ids.iter().map(|&i| direct.read_block(i as usize).unwrap()).collect();
 
     let (local, stop, jh, _handle) =
-        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path), &tcp_any(), &ServerConfig::default());
     let budget = 4096usize;
     let cfg = ClientConfig { max_response_bytes: budget, ..ClientConfig::default() };
     let mut client = RemoteClient::connect(&[local], cfg).unwrap();
@@ -431,7 +431,7 @@ fn whole_store_fetches_chunk_below_the_frame_cap_byte_identical() {
         hello.num_subblocks as usize * hello.subblock_size as usize,
         budget,
     );
-    assert!(per_batch >= 1 && per_batch < BLOCKS, "budget must force chunking: {per_batch}");
+    assert!((1..BLOCKS).contains(&per_batch), "budget must force chunking: {per_batch}");
 
     let got = client.read_blocks_strict(&ids).unwrap();
     assert_eq!(got.len(), ids.len());
@@ -459,7 +459,7 @@ fn oversized_batches_degrade_to_per_block_errors() {
     let dir = common::tmpdir("transport-oversize");
     let path = fixture(&dir, "oversize.eristore");
     let (local, stop, jh, handle) =
-        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path), &tcp_any(), &ServerConfig::default());
     let addr = match &local {
         Endpoint::Tcp(a) => a.clone(),
         other => panic!("expected tcp endpoint, got {other}"),
@@ -476,7 +476,7 @@ fn oversized_batches_degrade_to_per_block_errors() {
     let ids: Vec<u64> = (0..cap as u64 + 1).collect();
     protocol::write_frame(
         &mut sock,
-        &Message::ReadRequest(ReadRequest { request_id: 9, deadline_ms: 5000, ids }),
+        &Message::ReadRequest(ReadRequest { request_id: 9, deadline_ms: 5000, budget_ms: 5000, priority: 0, ids }),
     )
     .unwrap();
     let reply = protocol::read_frame(&mut sock).unwrap();
@@ -500,7 +500,7 @@ fn oversized_batches_degrade_to_per_block_errors() {
     // The connection survives: a conforming batch still serves.
     protocol::write_frame(
         &mut sock,
-        &Message::ReadRequest(ReadRequest { request_id: 10, deadline_ms: 5000, ids: vec![0, 1] }),
+        &Message::ReadRequest(ReadRequest { request_id: 10, deadline_ms: 5000, budget_ms: 5000, priority: 0, ids: vec![0, 1] }),
     )
     .unwrap();
     let Message::ReadResponse(rs2) = protocol::read_frame(&mut sock).unwrap() else {
@@ -524,7 +524,7 @@ fn unix_bind_refuses_live_sockets_and_regular_files() {
     let sock = dir.join("live.sock");
 
     let (local, stop, jh, handle) =
-        start_server(&[path.clone()], &Endpoint::Unix(sock.clone()), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path), &Endpoint::Unix(sock.clone()), &ServerConfig::default());
 
     // Second bind on the live socket: refused, socket left in place,
     // original server unharmed.
@@ -689,7 +689,7 @@ fn rpc_telemetry_name_contract() {
     let path = fixture(&dir, "telemetry.eristore");
 
     let (local, stop, jh, _handle) =
-        start_server(&[path.clone()], &tcp_any(), &ServerConfig::default());
+        start_server(std::slice::from_ref(&path), &tcp_any(), &ServerConfig::default());
     let upstream = match &local {
         Endpoint::Tcp(addr) => addr.clone(),
         other => panic!("expected tcp endpoint, got {other}"),
