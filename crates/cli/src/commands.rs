@@ -95,7 +95,7 @@ fn span_drop_warning(snap: &telemetry::Snapshot) -> Option<String> {
             "warning: {} telemetry span/event record(s) dropped at the {}-record buffer cap; \
              the span timeline is incomplete (counters and histograms remain complete)",
             snap.spans_dropped,
-            telemetry::SPAN_CAP,
+            telemetry::span_capacity(),
         )
     })
 }
@@ -1035,7 +1035,7 @@ pub fn soak_cmd(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "warning: {} telemetry span/event record(s) dropped at the {}-record buffer cap \
              (counters and histograms behind the SLO gates remain complete)",
             report.spans_dropped,
-            telemetry::SPAN_CAP
+            telemetry::span_capacity()
         )?;
     }
     fs::write(bench_out, report.to_json(&cfg))
@@ -1300,6 +1300,14 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(|e| CliError::new(format!("--listen: {e}")))?;
         let tsrv = eri_server::TransportServer::bind(&ep, std::sync::Arc::new(srv))
             .map_err(|e| CliError::new(format!("binding {ep}: {e}")))?;
+        // A listening server is scrapeable (`pastri top`, TelemetryRequest
+        // frames), so the recorder runs even without `--telemetry` —
+        // otherwise every scrape would come back empty.
+        let scrape_only = telem.is_none();
+        if scrape_only {
+            telemetry::reset();
+            telemetry::set_enabled(true);
+        }
         writeln!(out, "serve: listening on {}", tsrv.local_endpoint())?;
         out.flush()?;
         let max_conns = args.get_usize("serve-conns", 0)?;
@@ -1307,6 +1315,9 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .run(if max_conns == 0 { None } else { Some(max_conns as u64) })
             .map_err(|e| CliError::new(format!("serving on {}: {e}", tsrv.local_endpoint())))?;
         writeln!(out, "serve: done after {served} connection(s)")?;
+        if scrape_only {
+            telemetry::set_enabled(false);
+        }
         if let Some(tcap) = telem {
             tcap.finish(out)?;
         }
@@ -1397,11 +1408,19 @@ pub fn fetch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ..Default::default()
     };
     cfg.retry.max_retries = args.get_usize("retries", cfg.retry.max_retries as usize)? as u32;
-    if let Some(seed) = args.get("seed") {
-        cfg.retry.jitter_seed = Some(seed.parse().map_err(|_| {
-            CliError::new(format!("--seed: `{seed}` is not an integer"))
-        })?);
+    let mut seed = 0u64;
+    if let Some(raw) = args.get("seed") {
+        seed = raw.parse().map_err(|_| {
+            CliError::new(format!("--seed: `{raw}` is not an integer"))
+        })?;
+        cfg.retry.jitter_seed = Some(seed);
     }
+    // The whole fetch is one trace, seeded by --seed: every request
+    // carries the same trace id to a v3 server, which adopts it into
+    // its own spans — `pastri trace --merge` joins the two exports on
+    // that id. Pure function of the seed, so reruns trace identically.
+    telemetry::set_trace_seed(seed);
+    let _fetch_trace = telemetry::push_trace(telemetry::new_trace());
 
     let mut client = eri_server::RemoteClient::connect(&replicas, cfg).map_err(client_err)?;
     let ids: Vec<u64> = match args.get("blocks") {
@@ -1410,7 +1429,13 @@ pub fn fetch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
 
     let started = std::time::Instant::now();
-    let blocks = client.read_blocks_strict(&ids).map_err(client_err)?;
+    let blocks = {
+        // The client-side anchor span for the trace: it carries the
+        // same trace id the server adopts, so a merged timeline shows
+        // the fetch bracketing every server-side span it caused.
+        let _span = telemetry::span("client.fetch");
+        client.read_blocks_strict(&ids).map_err(client_err)?
+    };
     let wall = started.elapsed().as_secs_f64();
 
     if let Some(path) = args.get("out") {
@@ -1472,6 +1497,36 @@ pub fn fetch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some(s) => format!("{s:?}").to_lowercase(),
             };
             writeln!(out, "  breaker {ep}: {state}")?;
+        }
+        // v3 servers also expose the full snapshot: latency percentiles
+        // the pre-digested WireStats can't carry, plus journal health.
+        match client.server_telemetry() {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let snap = telemetry::export::from_json_lines(&text)
+                    .map_err(|e| CliError::new(format!("fetch: telemetry scrape: {e}")))?;
+                let pct = |q| {
+                    snap.histograms
+                        .iter()
+                        .find(|h| h.name == "server.read_us")
+                        .and_then(|h| h.percentile_us(q))
+                        .unwrap_or(0)
+                };
+                let drops: u64 = snap.events_dropped.iter().map(|c| c.value).sum();
+                writeln!(
+                    out,
+                    "  server telemetry: read p50 {} us, p99 {} us, {} journal event(s), \
+                     {} journal drop(s)",
+                    pct(0.50),
+                    pct(0.99),
+                    snap.events.len(),
+                    drops
+                )?;
+            }
+            // A v1/v2 peer has no snapshot frame; the WireStats block
+            // above already said everything it can.
+            Err(eri_server::ClientError::Protocol(_)) => {}
+            Err(e) => return Err(client_err(e)),
         }
     }
     if let Some(tcap) = telem {
@@ -1588,6 +1643,264 @@ pub fn bench_server(argv: &[String], out: &mut dyn Write) -> Result<(), CliError
     Ok(())
 }
 
+/// Derived dashboard numbers for one `pastri top` tick.
+struct TopMetrics {
+    requests_total: u64,
+    requests_per_s: f64,
+    blocks_per_s: f64,
+    cache_hit_rate: f64,
+    read_p50_us: u64,
+    read_p99_us: u64,
+    in_flight: i64,
+    shed_total: u64,
+    shed_per_s: f64,
+    draining: bool,
+    scrapes: u64,
+    journal_events: usize,
+    journal_drops: u64,
+}
+
+fn snap_gauge(snap: &telemetry::Snapshot, name: &str) -> i64 {
+    snap.gauges.iter().find(|g| g.name == name).map_or(0, |g| g.value)
+}
+
+fn snap_pct(snap: &telemetry::Snapshot, name: &str, q: f64) -> u64 {
+    snap.histograms
+        .iter()
+        .find(|h| h.name == name)
+        .and_then(|h| h.percentile_us(q))
+        .unwrap_or(0)
+}
+
+/// Computes one tick's numbers. With a previous scrape, rates are
+/// deltas over `dt` seconds; on the first (`--once`) scrape they fall
+/// back to cumulative totals over the server's own span horizon (the
+/// latest span end it has recorded), so a single scrape of a busy
+/// server still reports meaningful throughput instead of zeros.
+fn top_metrics(
+    prev: Option<&telemetry::Snapshot>,
+    cur: &telemetry::Snapshot,
+    dt: f64,
+) -> TopMetrics {
+    let horizon =
+        cur.spans.iter().map(|s| s.start_ns + s.dur_ns).max().unwrap_or(0) as f64 / 1e9;
+    let rate = |name: &str| -> f64 {
+        match prev {
+            Some(p) => {
+                cur.counter(name).saturating_sub(p.counter(name)) as f64 / dt.max(1e-9)
+            }
+            None if horizon > 0.0 => cur.counter(name) as f64 / horizon,
+            None => 0.0,
+        }
+    };
+    let hits = cur.counter("cache.hits");
+    let lookups = hits + cur.counter("cache.misses");
+    TopMetrics {
+        requests_total: cur.counter("server.requests"),
+        requests_per_s: rate("server.requests"),
+        blocks_per_s: rate("server.blocks"),
+        cache_hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        read_p50_us: snap_pct(cur, "server.read_us", 0.50),
+        read_p99_us: snap_pct(cur, "server.read_us", 0.99),
+        in_flight: snap_gauge(cur, "server.in_flight"),
+        shed_total: cur.counter("server.shed") + cur.counter("server.refused_draining"),
+        shed_per_s: rate("server.shed"),
+        draining: snap_gauge(cur, "server.draining") != 0,
+        scrapes: cur.counter("server.scrapes"),
+        journal_events: cur.events.len(),
+        journal_drops: cur.events_dropped.iter().map(|c| c.value).sum(),
+    }
+}
+
+/// One machine-readable JSON object line for `top --json`.
+fn top_json(endpoint: &str, m: &TopMetrics) -> String {
+    format!(
+        "{{\"endpoint\":\"{}\",\"requests_total\":{},\"requests_per_s\":{:.3},\
+         \"blocks_per_s\":{:.3},\"cache_hit_rate\":{:.4},\"read_p50_us\":{},\
+         \"read_p99_us\":{},\"in_flight\":{},\"shed_total\":{},\"shed_per_s\":{:.3},\
+         \"draining\":{},\"scrapes\":{},\"journal_events\":{},\"journal_drops\":{}}}",
+        endpoint.replace('\\', "\\\\").replace('"', "\\\""),
+        m.requests_total,
+        m.requests_per_s,
+        m.blocks_per_s,
+        m.cache_hit_rate,
+        m.read_p50_us,
+        m.read_p99_us,
+        m.in_flight,
+        m.shed_total,
+        m.shed_per_s,
+        m.draining,
+        m.scrapes,
+        m.journal_events,
+        m.journal_drops,
+    )
+}
+
+/// The human dashboard block for one tick (plain text, fixed shape —
+/// one redraw per tick, no terminal control sequences).
+fn top_text(endpoint: &str, tick: usize, m: &TopMetrics) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "pastri top — {endpoint} (tick {tick})");
+    let _ = writeln!(
+        s,
+        "  requests   {:>10} total   {:>9.1}/s    blocks {:>9.1}/s",
+        m.requests_total, m.requests_per_s, m.blocks_per_s
+    );
+    let _ = writeln!(s, "  cache      {:>9.1}% hit rate", m.cache_hit_rate * 100.0);
+    let _ = writeln!(
+        s,
+        "  read       p50 {:>8} us   p99 {:>8} us",
+        m.read_p50_us, m.read_p99_us
+    );
+    let _ = writeln!(
+        s,
+        "  admission  {} in flight   {} shed ({:.1}/s)   {}",
+        m.in_flight,
+        m.shed_total,
+        m.shed_per_s,
+        if m.draining { "DRAINING" } else { "serving" }
+    );
+    let _ = writeln!(
+        s,
+        "  journal    {} event(s) in ring, {} drop(s)   scrapes {}",
+        m.journal_events, m.journal_drops, m.scrapes
+    );
+    s
+}
+
+/// `pastri top <endpoint>` — live dashboard over TelemetrySnapshot
+/// scrapes: polls a v3 `serve --listen` endpoint, computes deltas and
+/// rates between consecutive snapshots, and prints one plain-text
+/// block per tick. `--once` takes a single scrape (rates over the
+/// server's span horizon); `--json` emits one JSON object per tick for
+/// scripts and tests. The scrape rides admission at priority ≥ 1
+/// server-side, so `top` keeps answering while the server sheds load.
+pub fn top(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let endpoint = args.positional(0, "endpoint")?;
+    let ep = eri_server::Endpoint::parse(endpoint)
+        .map_err(|e| CliError::new(format!("<endpoint>: {e}")))?;
+    let interval = std::time::Duration::from_millis(
+        args.get_usize("interval-ms", 1000)?.max(10) as u64,
+    );
+    let once = args.switch("once");
+    let json = args.switch("json");
+    let count = args.get_usize("count", 0)?; // 0 = until interrupted
+    let cfg = eri_server::ClientConfig {
+        deadline: std::time::Duration::from_millis(
+            args.get_usize("deadline-ms", 2000)?.max(1) as u64,
+        ),
+        // A monitor must keep probing an ailing server, never gate
+        // itself out of observing the incident.
+        breaker: None,
+        ..Default::default()
+    };
+    let mut client = eri_server::RemoteClient::connect(&[ep], cfg).map_err(client_err)?;
+    if client.negotiated_version() < 3 {
+        return Err(CliError::new(format!(
+            "top: server speaks protocol v{} (telemetry scraping needs v3)",
+            client.negotiated_version()
+        )));
+    }
+    let scrape = |client: &mut eri_server::RemoteClient| -> Result<telemetry::Snapshot, CliError> {
+        let bytes = client.server_telemetry().map_err(client_err)?;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        telemetry::export::from_json_lines(&text)
+            .map_err(|e| CliError::new(format!("top: telemetry scrape: {e}")))
+    };
+    let mut prev: Option<(std::time::Instant, telemetry::Snapshot)> = None;
+    let mut tick = 0usize;
+    loop {
+        let now = std::time::Instant::now();
+        let snap = scrape(&mut client)?;
+        if once || prev.is_some() {
+            tick += 1;
+            let (dt, prev_snap) = match &prev {
+                Some((t, p)) => (now.duration_since(*t).as_secs_f64(), Some(p)),
+                None => (interval.as_secs_f64(), None),
+            };
+            let m = top_metrics(prev_snap, &snap, dt);
+            if json {
+                writeln!(out, "{}", top_json(endpoint, &m))?;
+            } else {
+                write!(out, "{}", top_text(endpoint, tick, &m))?;
+            }
+            out.flush()?;
+        }
+        if once || (count > 0 && tick >= count) {
+            return Ok(());
+        }
+        prev = Some((now, snap));
+        std::thread::sleep(interval);
+    }
+}
+
+/// `pastri trace --merge <a.jsonl> <b.jsonl>... [--out merged.json]` —
+/// joins telemetry JSON-lines exports from different processes (a
+/// `fetch --telemetry json` capture and the serving side's scrape or
+/// capture) into one Chrome trace. Each input gets its own pid lane;
+/// spans stamped with the same wire-propagated trace id line up across
+/// lanes, which is the whole point: one timeline for one request's
+/// journey through retries, sheds, and the server's cache and store.
+pub fn trace_cmd(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    // `--merge a.jsonl b.jsonl`: the parser binds the first path to the
+    // flag and leaves the rest positional — gather both.
+    let mut inputs: Vec<String> = args.get_all("merge").iter().map(|s| (*s).to_string()).collect();
+    inputs.extend(args.positional.iter().cloned());
+    if inputs.is_empty() {
+        return Err(CliError::new(
+            "usage: pastri trace --merge <client.jsonl> <server.jsonl> [--out merged.json]",
+        ));
+    }
+    let mut snaps = Vec::new();
+    for path in &inputs {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("reading {path}: {e}")))?;
+        snaps.push(
+            telemetry::export::from_json_lines(&text)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?,
+        );
+    }
+    let with_pids: Vec<(&telemetry::Snapshot, u64)> =
+        snaps.iter().zip(1u64..).map(|(s, pid)| (s, pid)).collect();
+    let merged = telemetry::export::chrome_merged(&with_pids);
+    // Join accounting: a trace id seen in more than one input is a
+    // request correlated across processes — the merge's reason to exist.
+    use std::collections::{HashMap, HashSet};
+    let mut seen: HashMap<u64, HashSet<usize>> = HashMap::new();
+    for (i, s) in snaps.iter().enumerate() {
+        for sp in &s.spans {
+            if sp.trace != 0 {
+                seen.entry(sp.trace).or_default().insert(i);
+            }
+        }
+        for ev in &s.events {
+            if ev.trace != 0 {
+                seen.entry(ev.trace).or_default().insert(i);
+            }
+        }
+    }
+    let joined = seen.values().filter(|v| v.len() > 1).count();
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &merged)
+                .map_err(|e| CliError::new(format!("writing {path}: {e}")))?;
+            writeln!(
+                out,
+                "trace: merged {} export(s) into {path}: {} trace id(s), {} joined across \
+                 processes",
+                inputs.len(),
+                seen.len(),
+                joined
+            )?;
+        }
+        None => out.write_all(merged.as_bytes())?,
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1611,7 +1924,7 @@ mod tests {
         let warning = span_drop_warning(&snap).expect("drops must warn");
         assert!(warning.contains("1234"), "{warning}");
         assert!(
-            warning.contains(&telemetry::SPAN_CAP.to_string()),
+            warning.contains(&telemetry::span_capacity().to_string()),
             "warning names the cap: {warning}"
         );
         assert!(

@@ -20,6 +20,11 @@
 //!   protocol with `--listen`
 //! * `fetch`      — read blocks from a `serve --listen` endpoint with
 //!   deadlines, bounded retry, and hedged replica failover
+//! * `top`        — live dashboard over a serving endpoint: polls
+//!   telemetry snapshots and prints rates, cache hit rate, latency
+//!   percentiles, admission and journal state per tick
+//! * `trace`      — merge telemetry JSON-lines exports from different
+//!   processes into one Chrome trace joined on shared trace ids
 //! * `bench-server` — seeded traffic replay against the cache server,
 //!   emitting BENCH_server.json
 //!
@@ -100,6 +105,8 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "soak" => commands::soak_cmd(rest, out),
         "serve" => commands::serve(rest, out),
         "fetch" => commands::fetch(rest, out),
+        "top" => commands::top(rest, out),
+        "trace" => commands::trace_cmd(rest, out),
         "bench-server" => commands::bench_server(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
@@ -142,6 +149,9 @@ USAGE:
   pastri fetch      <endpoint> [--replica ENDPOINT]... [--blocks 0,3,7-9]
                     [--out raw.f64] [--deadline-ms 5000] [--attempt-ms 1000]
                     [--retries 8] [--seed N] [--stats]
+  pastri top        <endpoint> [--interval-ms 1000] [--count N]
+                    [--once] [--json] [--deadline-ms 2000]
+  pastri trace      --merge <a.jsonl> <b.jsonl>... [--out merged.json]
   pastri bench-server <store.eristore> [--gen-blocks N] [--seed 42]
                     [--clients 4] [--requests 256] [--max-batch 8]
                     [--skew 3.0] [--shards 4] [--cache-mb 8]
@@ -212,6 +222,17 @@ REMOTE SERVING (`serve --listen` / `fetch`):
   failover rotation, so a dead or stalling replica costs one attempt,
   not the deadline. Corrupt frames or blocks that outlive the retry
   budget exit 2; unreachable endpoints and blown deadlines exit 1.
+
+LIVE OBSERVABILITY (DESIGN §15):
+  A v3 `serve --listen` endpoint answers TelemetrySnapshot scrape
+  frames (full counters, gauges, 32-bucket histograms, and the bounded
+  event journal) admitted at priority >= 1, so scrapes survive
+  overload. `pastri top <endpoint>` polls those snapshots and prints
+  requests/s, cache hit rate, read p50/p99, in-flight, shed rate, and
+  drain state per tick (`--once --json` for scripts). Every `fetch`
+  carries a seeded trace id on the wire; the server adopts it into its
+  own spans, and `pastri trace --merge client.jsonl server.jsonl`
+  joins the two exports into one cross-process Chrome timeline.
 
 OVERLOAD PROTECTION (DESIGN §14):
   The server admits requests through a permit budget (global, per-conn,

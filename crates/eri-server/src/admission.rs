@@ -92,6 +92,21 @@ impl ShedCause {
             _ => OverloadReason::Shed,
         }
     }
+
+    /// The event-journal kind recorded when this shed fires, so `top`
+    /// and `report` can show *why* requests were refused, not just how
+    /// many.
+    #[must_use]
+    pub fn journal_kind(self) -> &'static str {
+        match self {
+            ShedCause::WaitExceedsBudget => "shed.wait_exceeds_budget",
+            ShedCause::QueueFull => "shed.queue_full",
+            ShedCause::PerConnLimit => "shed.per_conn_limit",
+            ShedCause::BudgetExhausted => "shed.budget_exhausted",
+            ShedCause::Draining => "shed.draining",
+            ShedCause::Injected => "shed.injected",
+        }
+    }
 }
 
 /// The verdict for one request.
@@ -216,7 +231,12 @@ impl AdmissionController {
             / cfg.max_in_flight.max(1) as u64
     }
 
-    fn shed(inner: &mut Inner, cause: ShedCause, retry_after: Duration) -> Admission<'static> {
+    fn shed(
+        inner: &mut Inner,
+        conn_id: u64,
+        cause: ShedCause,
+        retry_after: Duration,
+    ) -> Admission<'static> {
         if cause == ShedCause::Draining {
             inner.stats.refused_draining += 1;
             telemetry::counter_add("server.refused_draining", 1);
@@ -224,6 +244,11 @@ impl AdmissionController {
             inner.stats.shed += 1;
             telemetry::counter_add("server.shed", 1);
         }
+        telemetry::journal(
+            cause.journal_kind(),
+            conn_id,
+            u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX),
+        );
         Admission::Shed { cause, retry_after }
     }
 
@@ -244,20 +269,20 @@ impl AdmissionController {
         let start = Instant::now();
         let mut inner = lock_recover(&self.inner);
         if inner.draining {
-            return Self::shed(&mut inner, ShedCause::Draining, Duration::ZERO);
+            return Self::shed(&mut inner, conn_id, ShedCause::Draining, Duration::ZERO);
         }
         if inner.per_conn.get(&conn_id).copied().unwrap_or(0) >= self.cfg.max_per_conn {
             let hint = Duration::from_micros(inner.est_service_us.max(1000));
-            return Self::shed(&mut inner, ShedCause::PerConnLimit, hint);
+            return Self::shed(&mut inner, conn_id, ShedCause::PerConnLimit, hint);
         }
         if inner.queued >= self.cfg.max_queued {
             let hint = Duration::from_micros(Self::estimated_wait_us(&inner, &self.cfg).max(1000));
-            return Self::shed(&mut inner, ShedCause::QueueFull, hint);
+            return Self::shed(&mut inner, conn_id, ShedCause::QueueFull, hint);
         }
         // The shedding rule: refuse now rather than time out later.
         let est = Duration::from_micros(Self::estimated_wait_us(&inner, &self.cfg));
         if priority == 0 && est > budget {
-            return Self::shed(&mut inner, ShedCause::WaitExceedsBudget, est);
+            return Self::shed(&mut inner, conn_id, ShedCause::WaitExceedsBudget, est);
         }
         inner.queued += 1;
         loop {
@@ -267,7 +292,7 @@ impl AdmissionController {
                 && inner.in_flight > 0;
             if inner.draining {
                 inner.queued -= 1;
-                return Self::shed(&mut inner, ShedCause::Draining, Duration::ZERO);
+                return Self::shed(&mut inner, conn_id, ShedCause::Draining, Duration::ZERO);
             }
             if !blocked_on_permits && !blocked_on_bytes {
                 break;
@@ -275,7 +300,7 @@ impl AdmissionController {
             let Some(remaining) = budget.checked_sub(start.elapsed()) else {
                 inner.queued -= 1;
                 let hint = Duration::from_micros(inner.est_service_us.max(1000));
-                return Self::shed(&mut inner, ShedCause::BudgetExhausted, hint);
+                return Self::shed(&mut inner, conn_id, ShedCause::BudgetExhausted, hint);
             };
             let wait = remaining.min(Duration::from_millis(50)).max(Duration::from_millis(1));
             let (guard, _timeout) = self
@@ -286,6 +311,7 @@ impl AdmissionController {
         }
         inner.queued -= 1;
         inner.in_flight += 1;
+        telemetry::gauge_set("server.in_flight", inner.in_flight as i64);
         inner.bytes_in_flight += bytes;
         *inner.per_conn.entry(conn_id).or_insert(0) += 1;
         inner.stats.admitted += 1;
@@ -307,12 +333,14 @@ impl AdmissionController {
         let mut inner = lock_recover(&self.inner);
         inner.stats.shed += 1;
         telemetry::counter_add("server.shed", 1);
+        telemetry::journal(ShedCause::Injected.journal_kind(), 0, 0);
     }
 
     /// Stops admitting: every subsequent (and currently queued) request
     /// gets a structured `Draining` refusal; permit holders finish.
     pub fn begin_drain(&self) {
         lock_recover(&self.inner).draining = true;
+        telemetry::gauge_set("server.draining", 1);
         self.cv.notify_all();
     }
 
@@ -345,6 +373,7 @@ impl AdmissionController {
     fn release(&self, conn_id: u64, bytes: usize, served_in: Duration) {
         let mut inner = lock_recover(&self.inner);
         inner.in_flight -= 1;
+        telemetry::gauge_set("server.in_flight", inner.in_flight as i64);
         inner.bytes_in_flight = inner.bytes_in_flight.saturating_sub(bytes);
         if let Some(n) = inner.per_conn.get_mut(&conn_id) {
             *n -= 1;

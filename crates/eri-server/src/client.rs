@@ -346,14 +346,17 @@ impl RemoteClient {
             Transition::Opened => {
                 self.stats.breaker_opened += 1;
                 telemetry::counter_add("rpc.breaker_opened", 1);
+                telemetry::journal("breaker.opened", 0, 0);
             }
             Transition::HalfOpened => {
                 self.stats.breaker_half_opened += 1;
                 telemetry::counter_add("rpc.breaker_half_opened", 1);
+                telemetry::journal("breaker.half_open", 0, 0);
             }
             Transition::Closed => {
                 self.stats.breaker_closed += 1;
                 telemetry::counter_add("rpc.breaker_closed", 1);
+                telemetry::journal("breaker.closed", 0, 0);
             }
         }
     }
@@ -398,18 +401,28 @@ impl RemoteClient {
         let rq_ids = ids.to_vec();
         // Advisory deadline for the server's write budget.
         let deadline_ms = u32::try_from(self.cfg.deadline.as_millis()).unwrap_or(u32::MAX);
-        let v2 = self.negotiated_version() >= 2;
+        let version = self.negotiated_version();
         let priority = self.cfg.priority;
+        // Trace propagation (v3 peers): every attempt of this logical
+        // request carries the same context — the ambient one when the
+        // caller opened a trace (the CLI does, around a whole fetch),
+        // or a fresh seeded id so nothing on the wire is untraced.
+        let trace = (version >= 3)
+            .then(|| telemetry::current_trace().unwrap_or_else(telemetry::new_trace));
         let reply = self.roundtrip(&mut |request_id, remaining| {
             // Deadline propagation: the server sees how much budget
             // this attempt actually has left, so its admission queue
             // can shed instead of serving a reply nobody will wait for.
             let budget_ms = u32::try_from(remaining.as_millis()).unwrap_or(u32::MAX);
             let rq = ReadRequest { request_id, deadline_ms, budget_ms, priority, ids: rq_ids.clone() };
-            if v2 {
-                Message::ReadRequestV2(rq)
-            } else {
-                Message::ReadRequest(rq)
+            match trace {
+                Some(ctx) => Message::TracedReadRequest(protocol::TracedReadRequest {
+                    request: rq,
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                }),
+                None if version >= 2 => Message::ReadRequestV2(rq),
+                None => Message::ReadRequest(rq),
             }
         })?;
         let rs = match reply {
@@ -454,6 +467,25 @@ impl RemoteClient {
             .roundtrip(&mut |_, _| if v2 { Message::StatsRequestV2 } else { Message::StatsRequest })?;
         match reply {
             Message::StatsResponse(s) | Message::StatsResponseV2(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("unexpected reply {:?}", kind_of(&other)))),
+        }
+    }
+
+    /// Scrapes the server's full telemetry snapshot — counters, gauges,
+    /// complete histograms, and the event journal — as the line-JSON
+    /// export bytes ([`telemetry::export::from_json_lines`] decodes
+    /// them). Requires a v3 peer; the scrape rides admission at
+    /// priority ≥ 1 server-side so it survives overload.
+    pub fn server_telemetry(&mut self) -> Result<Vec<u8>, ClientError> {
+        if self.negotiated_version() < 3 {
+            return Err(ClientError::Protocol(format!(
+                "server speaks protocol v{}; telemetry scrape needs v3",
+                self.negotiated_version()
+            )));
+        }
+        let reply = self.roundtrip(&mut |_, _| Message::TelemetryRequest)?;
+        match reply {
+            Message::TelemetryResponse(bytes) => Ok(bytes),
             other => Err(ClientError::Protocol(format!("unexpected reply {:?}", kind_of(&other)))),
         }
     }
@@ -523,6 +555,7 @@ impl RemoteClient {
                             // attempt moved to another replica.
                             self.stats.hedges += 1;
                             telemetry::counter_add("rpc.hedges", 1);
+                            telemetry::journal("rpc.hedge", self.next_request_id, r as u64);
                             replica = r;
                         }
                     }
@@ -598,10 +631,12 @@ impl RemoteClient {
                     }
                     self.stats.retries += 1;
                     telemetry::counter_add("rpc.retries", 1);
+                    telemetry::journal("rpc.retry", request_id, u64::from(attempt));
                     if self.cfg.hedge && self.replicas.len() > 1 {
                         replica = (replica + 1) % self.replicas.len();
                         self.stats.hedges += 1;
                         telemetry::counter_add("rpc.hedges", 1);
+                        telemetry::journal("rpc.hedge", request_id, replica as u64);
                     }
                     // An Overloaded refusal carries the server's own
                     // backoff hint; honor whichever is longer so a
@@ -662,7 +697,9 @@ impl RemoteClient {
             }
         }
         if let Message::Overloaded(o) = &reply {
-            if o.request_id != request_id {
+            // id 0 is the wildcard for requests that carry no id of
+            // their own (telemetry scrapes shed under admission).
+            if o.request_id != 0 && o.request_id != request_id {
                 return Err(AttemptError::CorruptFrame(format!(
                     "overloaded reply id {} for request {}",
                     o.request_id, request_id
@@ -688,6 +725,9 @@ fn kind_of(msg: &Message) -> &'static str {
         Message::StatsRequestV2 => "StatsRequestV2",
         Message::StatsResponseV2(_) => "StatsResponseV2",
         Message::Overloaded(_) => "Overloaded",
+        Message::TracedReadRequest(_) => "TracedReadRequest",
+        Message::TelemetryRequest => "TelemetryRequest",
+        Message::TelemetryResponse(_) => "TelemetryResponse",
     }
 }
 

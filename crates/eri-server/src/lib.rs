@@ -493,9 +493,17 @@ impl ServerHandle {
     ) -> Result<Arc<Vec<f64>>, ServerError> {
         let t = Instant::now();
         let local = id - shard.global_start + shard.local_start;
+        let repaired_before = reader.read_stats().blocks_repaired;
         let values = reader
             .read_block(local)
             .map_err(|e| ServerError::Store { block: id, source: e })?;
+        let repaired = reader.read_stats().blocks_repaired - repaired_before;
+        if repaired > 0 {
+            // Repair-on-read healed this block mid-serve: a journal
+            // event ties the heal to the block id (and, when the read
+            // came over the wire, to the originating trace).
+            telemetry::journal("store.repair", id as u64, repaired);
+        }
         let us = t.elapsed().as_micros() as u64;
         telemetry::observe_us("server.miss_us", us);
         telemetry::observe_us("server.read_us", us);

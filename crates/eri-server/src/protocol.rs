@@ -9,7 +9,9 @@
 //! 4       1     kind (1=Hello 2=ReadRequest 3=ReadResponse
 //!                     4=StatsRequest 5=StatsResponse
 //!                     6=ReadRequestV2 7=Overloaded
-//!                     8=StatsRequestV2 9=StatsResponseV2)
+//!                     8=StatsRequestV2 9=StatsResponseV2
+//!                     10=TracedReadRequest 11=TelemetryRequest
+//!                     12=TelemetryResponse)
 //! 5       3     reserved, must be zero
 //! 8       4     payload length, u32 LE (hard cap 64 MiB)
 //! 12      N     payload (kind-specific, little-endian fixed-width)
@@ -58,14 +60,30 @@
 //!   including the admission-control counters (`shed`,
 //!   `refused_draining`, `admitted`).
 //!
+//! Version 3 (negotiated — see below) adds the observability kinds:
+//!
+//! * `TracedReadRequest`: the v2 read layout plus a `trace_id u64` and
+//!   `span_id u64` between `priority` and the id count — the client's
+//!   [`telemetry::TraceContext`] riding with the request, so the
+//!   server's spans for this request carry the originating trace id.
+//!   Semantically identical to `ReadRequestV2` otherwise; a zero
+//!   `trace_id` means "untraced" and the server adopts nothing.
+//! * `TelemetryRequest` (empty) / `TelemetryResponse`: a full
+//!   `telemetry::Snapshot` scrape — counters, gauges, 32-bucket
+//!   histograms, journal events — as the line-JSON bytes produced by
+//!   `telemetry::export::json_lines` (opaque at this layer; the frame
+//!   carries raw bytes). Scrapes are admitted at priority 1 so `pastri
+//!   top` keeps working while the server sheds load.
+//!
 //! **Version negotiation.** The server always speaks first with a
 //! `Hello` carrying [`PROTO_VERSION`]; a client accepts any server
 //! version in `MIN_PROTO_VERSION..=PROTO_VERSION` and then speaks the
 //! *minimum* of the two, so a v2 client never sends v2 kinds to a v1
 //! server. The server infers the peer's version per request from the
-//! kind it used (kind 2 → v1, kind 6 → v2) and never replies with a
-//! kind the peer could not have learned from its own request — a v1
-//! peer is never sent `Overloaded` or `StatsResponseV2`.
+//! kind it used (kind 2 → v1, kind 6 → v2, kinds 10/11 → v3) and never
+//! replies with a kind the peer could not have learned from its own
+//! request — a v1 peer is never sent `Overloaded` or
+//! `StatsResponseV2`, and only v3 peers see `TelemetryResponse`.
 
 use std::io::{self, Read, Write};
 
@@ -74,7 +92,7 @@ use checksum::crc32;
 /// Frame magic: "PTRF" (PaSTRI Transport Frame).
 pub const MAGIC: [u8; 4] = *b"PTRF";
 /// Protocol version spoken by this build; carried in `Hello`.
-pub const PROTO_VERSION: u32 = 2;
+pub const PROTO_VERSION: u32 = 3;
 /// Oldest peer version this build still interoperates with.
 pub const MIN_PROTO_VERSION: u32 = 1;
 /// Fixed frame header length (magic + kind + reserved + payload len).
@@ -88,11 +106,12 @@ pub const MAX_BLOCK_ERROR_MESSAGE: usize = 256;
 
 /// Fixed `ReadResponse` payload overhead: request id (8) + count (4).
 const READ_RESPONSE_OVERHEAD: usize = 12;
-/// Fixed request payload overhead, sized for the wider v2 layout:
-/// request id (8) + deadline (4) + budget (4) + priority (1) + count
-/// (4). Batch sizing uses this for both versions so a batch that fits
-/// a v2 request always fits a v1 one too.
-const READ_REQUEST_OVERHEAD: usize = 21;
+/// Fixed request payload overhead, sized for the widest (v3, traced)
+/// layout: request id (8) + deadline (4) + budget (4) + priority (1) +
+/// trace id (8) + span id (8) + count (4). Batch sizing uses this for
+/// every version so a batch that fits a traced request always fits the
+/// narrower v1/v2 layouts too.
+const READ_REQUEST_OVERHEAD: usize = 37;
 
 /// How many block ids one `ReadRequest`/`ReadResponse` exchange can
 /// carry under `payload_cap` bytes of frame payload, for blocks of
@@ -309,6 +328,18 @@ pub struct Overloaded {
     pub retry_after_ms: u32,
 }
 
+/// A v2 read request plus the client's trace context (v3). The ids are
+/// non-zero for a traced request; an all-zero context decodes fine and
+/// simply means "untraced" — the server adopts nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedReadRequest {
+    pub request: ReadRequest,
+    /// Cross-process correlation id ([`telemetry::TraceContext::trace_id`]).
+    pub trace_id: u64,
+    /// Client-side originating span id.
+    pub span_id: u64,
+}
+
 /// Response to a [`ReadRequest`], one [`WireBlock`] per requested id in
 /// request order.
 #[derive(Debug, Clone, PartialEq)]
@@ -354,6 +385,11 @@ pub enum Message {
     Overloaded(Overloaded),
     StatsRequestV2,
     StatsResponseV2(WireStats),
+    TracedReadRequest(TracedReadRequest),
+    TelemetryRequest,
+    /// Raw `telemetry::export::json_lines` bytes — opaque at this
+    /// layer; the client parses them with `from_json_lines`.
+    TelemetryResponse(Vec<u8>),
 }
 
 impl Message {
@@ -368,6 +404,9 @@ impl Message {
             Message::Overloaded(_) => 7,
             Message::StatsRequestV2 => 8,
             Message::StatsResponseV2(_) => 9,
+            Message::TracedReadRequest(_) => 10,
+            Message::TelemetryRequest => 11,
+            Message::TelemetryResponse(_) => 12,
         }
     }
 }
@@ -389,7 +428,7 @@ impl FrameHeader {
             return Err(FrameError::BadMagic([raw[0], raw[1], raw[2], raw[3]]));
         }
         let kind = raw[4];
-        if !(1..=9).contains(&kind) {
+        if !(1..=12).contains(&kind) {
             return Err(FrameError::UnknownKind(kind));
         }
         if raw[5..8] != [0, 0, 0] {
@@ -518,7 +557,23 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                 }
             }
         }
-        Message::StatsRequest | Message::StatsRequestV2 => {}
+        Message::TracedReadRequest(t) => {
+            let rq = &t.request;
+            p.extend_from_slice(&rq.request_id.to_le_bytes());
+            p.extend_from_slice(&rq.deadline_ms.to_le_bytes());
+            p.extend_from_slice(&rq.budget_ms.to_le_bytes());
+            p.push(rq.priority);
+            p.extend_from_slice(&t.trace_id.to_le_bytes());
+            p.extend_from_slice(&t.span_id.to_le_bytes());
+            p.extend_from_slice(&(rq.ids.len() as u32).to_le_bytes());
+            for id in &rq.ids {
+                p.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Message::TelemetryResponse(bytes) => {
+            p.extend_from_slice(bytes);
+        }
+        Message::StatsRequest | Message::StatsRequestV2 | Message::TelemetryRequest => {}
         Message::StatsResponse(s) => {
             for v in [
                 s.requests,
@@ -699,6 +754,32 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, FrameError> {
             Message::Overloaded(Overloaded { request_id, reason, retry_after_ms })
         }
         8 => Message::StatsRequestV2,
+        10 => {
+            let request_id = c.u64()?;
+            let deadline_ms = c.u32()?;
+            let budget_ms = c.u32()?;
+            let priority = c.u8()?;
+            let trace_id = c.u64()?;
+            let span_id = c.u64()?;
+            let count = c.u32()? as usize;
+            if count > c.buf.len() / 8 {
+                return Err(FrameError::Malformed("id count past end of payload"));
+            }
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(c.u64()?);
+            }
+            Message::TracedReadRequest(TracedReadRequest {
+                request: ReadRequest { request_id, deadline_ms, budget_ms, priority, ids },
+                trace_id,
+                span_id,
+            })
+        }
+        11 => Message::TelemetryRequest,
+        12 => {
+            let bytes = c.take(c.buf.len())?.to_vec();
+            Message::TelemetryResponse(bytes)
+        }
         9 => Message::StatsResponseV2(WireStats {
             requests: c.u64()?,
             blocks: c.u64()?,
@@ -774,6 +855,22 @@ mod tests {
                 reason: OverloadReason::Draining,
                 retry_after_ms: 0,
             }),
+            Message::TracedReadRequest(TracedReadRequest {
+                request: ReadRequest {
+                    request_id: 12,
+                    deadline_ms: 250,
+                    budget_ms: 99,
+                    priority: 0,
+                    ids: vec![2, 4, 2],
+                },
+                trace_id: 0xdead_beef_cafe_f00d,
+                span_id: 0x1234_5678_9abc_def0,
+            }),
+            Message::TelemetryRequest,
+            Message::TelemetryResponse(
+                b"{\"type\":\"meta\",\"version\":2,\"spans_dropped\":0}\n".to_vec(),
+            ),
+            Message::TelemetryResponse(Vec::new()),
             Message::StatsRequestV2,
             Message::StatsResponseV2(WireStats {
                 requests: 1,
@@ -910,8 +1007,8 @@ mod tests {
         assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::BadReserved));
 
         let mut frame = frame_bytes(&Message::StatsRequest).unwrap();
-        frame[4] = 10;
-        assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::UnknownKind(10)));
+        frame[4] = 13;
+        assert!(matches!(read_frame(&mut &frame[..]).unwrap_err(), FrameError::UnknownKind(13)));
     }
 
     #[test]
@@ -948,11 +1045,11 @@ mod tests {
             // message, or every slot full values — whichever is wider.
             let per_slot = 5 + (8 * values).max(MAX_BLOCK_ERROR_MESSAGE);
             assert!(12 + n * per_slot <= cap, "values={values} cap={cap} n={n}");
-            // Request side is budgeted for the wider v2 layout.
-            assert!(21 + n * 8 <= cap, "request side: values={values} cap={cap} n={n}");
+            // Request side is budgeted for the widest (traced v3) layout.
+            assert!(37 + n * 8 <= cap, "request side: values={values} cap={cap} n={n}");
             // And n is maximal: one more block would overflow a side.
             assert!(
-                12 + (n + 1) * per_slot > cap || 21 + (n + 1) * 8 > cap,
+                12 + (n + 1) * per_slot > cap || 37 + (n + 1) * 8 > cap,
                 "values={values} cap={cap} n={n} not maximal"
             );
         }
@@ -973,8 +1070,15 @@ mod tests {
             ids: vec![1, 2],
         };
         let v1 = frame_bytes(&Message::ReadRequest(rq.clone())).unwrap();
-        let v2 = frame_bytes(&Message::ReadRequestV2(rq)).unwrap();
+        let v2 = frame_bytes(&Message::ReadRequestV2(rq.clone())).unwrap();
         assert_eq!(v2.len(), v1.len() + 5, "v2 adds budget (4) + priority (1)");
+        let v3 = frame_bytes(&Message::TracedReadRequest(TracedReadRequest {
+            request: rq,
+            trace_id: 1,
+            span_id: 2,
+        }))
+        .unwrap();
+        assert_eq!(v3.len(), v2.len() + 16, "v3 adds trace id (8) + span id (8)");
         match read_frame(&mut &v1[..]).unwrap() {
             Message::ReadRequest(got) => {
                 assert_eq!(got.budget_ms, got.deadline_ms);

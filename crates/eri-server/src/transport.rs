@@ -58,6 +58,7 @@ use crate::protocol::{
     self, BlockErrorKind, FrameError, FrameHeader, Hello, Message, Overloaded, ReadRequest,
     ReadResponse, WireBlock, WireStats, HEADER_LEN, PROTO_VERSION,
 };
+use telemetry::TraceContext;
 use crate::{ServerError, ServerHandle};
 
 /// Where a server listens / a client connects: `tcp:host:port` or
@@ -190,6 +191,10 @@ pub struct ServeOptions {
     pub frame_timeout: Duration,
     /// Budget for writing a response back.
     pub write_timeout: Duration,
+    /// Read requests whose service time crosses this threshold are
+    /// recorded in the structured event journal (`rpc.slow`), tagged
+    /// with the request's trace id.
+    pub slow_request: Duration,
     /// Admission-control limits (permits, queue, bytes, per-conn).
     pub admission: AdmissionConfig,
     /// Seeded overload injector (soak/bench only): forces
@@ -203,6 +208,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("idle_poll", &self.idle_poll)
             .field("frame_timeout", &self.frame_timeout)
             .field("write_timeout", &self.write_timeout)
+            .field("slow_request", &self.slow_request)
             .field("admission", &self.admission)
             .field("inject", &self.inject.as_ref().map(|_| "<injector>"))
             .finish()
@@ -215,6 +221,7 @@ impl Default for ServeOptions {
             idle_poll: Duration::from_millis(50),
             frame_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            slow_request: Duration::from_millis(100),
             admission: AdmissionConfig::default(),
             inject: None,
         }
@@ -619,8 +626,10 @@ fn serve_read<'a>(
     batch_cap: usize,
     values_per_block: usize,
     conn_id: u64,
+    slow_request: Duration,
 ) -> (Message, Option<Permit<'a>>) {
     telemetry::counter_add("rpc.requests", 1);
+    let served_at = Instant::now();
     let _span = telemetry::span("rpc.request");
     if rq.ids.len() > batch_cap {
         // The worst-case response would blow the frame cap: degrade to
@@ -680,6 +689,14 @@ fn serve_read<'a>(
             Err(e) => block_error(&e),
         })
         .collect();
+    let elapsed = served_at.elapsed();
+    if elapsed >= slow_request {
+        telemetry::journal(
+            "rpc.slow",
+            rq.request_id,
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        );
+    }
     (Message::ReadResponse(ReadResponse { request_id: rq.request_id, blocks }), Some(permit))
 }
 
@@ -748,18 +765,78 @@ fn handle_conn(
                     batch_cap,
                     values_per_block,
                     conn_id,
+                    opts.slow_request,
+                )
+            }
+            Message::TracedReadRequest(ref traced) => {
+                // Adopt the client's trace context for the whole serve:
+                // every span/journal entry recorded on this thread while
+                // the guard lives carries the originating trace id. A
+                // zero trace id means "untraced" — adopt nothing.
+                let _trace = (traced.trace_id != 0).then(|| {
+                    telemetry::push_trace(TraceContext {
+                        trace_id: traced.trace_id,
+                        span_id: traced.span_id,
+                    })
+                });
+                let rq = &traced.request;
+                let load = opts.inject.as_ref().map(|i| {
+                    let key = request_key(&rq.ids);
+                    let attempt = inject_attempts.entry(key).or_insert(0);
+                    let decision = i.decide(key, *attempt);
+                    *attempt += 1;
+                    decision
+                });
+                serve_read(
+                    rq,
+                    3,
+                    handle,
+                    admission,
+                    load.as_ref(),
+                    batch_cap,
+                    values_per_block,
+                    conn_id,
+                    opts.slow_request,
                 )
             }
             Message::StatsRequest => (Message::StatsResponse(wire_stats(handle, admission)), None),
             Message::StatsRequestV2 => {
                 (Message::StatsResponseV2(wire_stats(handle, admission)), None)
             }
+            Message::TelemetryRequest => {
+                // A live scrape of the full recorder. Admitted at
+                // priority 1 so dashboards keep reading while priority-0
+                // traffic sheds; hard limits (queue full, per-conn,
+                // draining) still apply and surface as Overloaded.
+                let bytes = telemetry::export::json_lines(&telemetry::snapshot()).into_bytes();
+                match admission.admit_with_priority(
+                    conn_id,
+                    Duration::from_secs(60),
+                    bytes.len(),
+                    1,
+                ) {
+                    Admission::Admitted(p) => {
+                        telemetry::counter_add("server.scrapes", 1);
+                        (Message::TelemetryResponse(bytes), Some(p))
+                    }
+                    Admission::Shed { cause, retry_after } => (
+                        Message::Overloaded(Overloaded {
+                            request_id: 0,
+                            reason: cause.reason(),
+                            retry_after_ms: u32::try_from(retry_after.as_millis())
+                                .unwrap_or(u32::MAX),
+                        }),
+                        None,
+                    ),
+                }
+            }
             // Only clients send these; a peer that does is broken.
             Message::Hello(_)
             | Message::ReadResponse(_)
             | Message::StatsResponse(_)
             | Message::Overloaded(_)
-            | Message::StatsResponseV2(_) => return,
+            | Message::StatsResponseV2(_)
+            | Message::TelemetryResponse(_) => return,
         };
         let wrote =
             protocol::write_frame(&mut conn, &reply).is_ok() && conn.flush().is_ok();

@@ -54,6 +54,20 @@ impl WireFault {
         WireFault::Stall,
         WireFault::Reset,
     ];
+
+    /// The telemetry event-journal kind recorded when this fault fires,
+    /// so a merged trace shows *which* wire fault a retry recovered
+    /// from.
+    #[must_use]
+    pub fn journal_kind(self) -> &'static str {
+        match self {
+            WireFault::Truncate => "wire.truncate",
+            WireFault::Corrupt => "wire.corrupt",
+            WireFault::Drop => "wire.drop",
+            WireFault::Stall => "wire.stall",
+            WireFault::Reset => "wire.reset",
+        }
+    }
 }
 
 /// Injection schedule. Default: transparent (no faults).
@@ -145,7 +159,9 @@ struct ProxyState {
 }
 
 impl ProxyState {
-    fn tally(&self, fault: WireFault) {
+    /// Counts a fired fault and journals it (`wire.*` kind, downstream
+    /// byte offset as payload) when the telemetry recorder is on.
+    fn tally(&self, fault: WireFault, off: u64) {
         match fault {
             WireFault::Truncate => &self.truncates,
             WireFault::Corrupt => &self.corrupts,
@@ -154,6 +170,7 @@ impl ProxyState {
             WireFault::Reset => &self.resets,
         }
         .fetch_add(1, Ordering::Relaxed);
+        telemetry::journal(fault.journal_kind(), off, 0);
     }
 }
 
@@ -289,7 +306,7 @@ fn pump_connection(client: TcpStream, k: u64, state: &Arc<ProxyState>) {
     if let Some((WireFault::Reset, _)) = fault {
         // Close before a single byte flows — the accept-then-slam shape
         // of a transient ECONNRESET.
-        state.tally(WireFault::Reset);
+        state.tally(WireFault::Reset, 0);
         let _ = client.shutdown(Shutdown::Both);
         return;
     }
@@ -356,7 +373,7 @@ fn copy_with_fault(
                             WireFault::Truncate => {
                                 // Forward the prefix, then clean EOF
                                 // mid-frame toward the client.
-                                state.tally(class);
+                                state.tally(class, off);
                                 let _ = to.write_all(&buf[..cut]);
                                 let _ = to.shutdown(Shutdown::Write);
                                 let _ = from.shutdown(Shutdown::Both);
@@ -364,7 +381,7 @@ fn copy_with_fault(
                             }
                             WireFault::Drop => {
                                 // Abrupt teardown of both directions.
-                                state.tally(class);
+                                state.tally(class, off);
                                 let _ = to.shutdown(Shutdown::Both);
                                 let _ = from.shutdown(Shutdown::Both);
                                 return;
@@ -372,7 +389,7 @@ fn copy_with_fault(
                             WireFault::Corrupt => {
                                 // One seeded bit flip; the stream keeps
                                 // flowing so only the CRC can tell.
-                                state.tally(class);
+                                state.tally(class, off);
                                 let bit = splitmix64(state.seed ^ off) % 8;
                                 buf[cut] ^= 1u8 << bit;
                                 pending = None;
@@ -380,7 +397,7 @@ fn copy_with_fault(
                             WireFault::Stall => {
                                 // Forward the prefix, sit past any
                                 // deadline, then resume.
-                                state.tally(class);
+                                state.tally(class, off);
                                 let _ = to.write_all(&buf[..cut]);
                                 std::thread::sleep(state.cfg.stall);
                                 start = cut;

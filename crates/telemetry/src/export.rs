@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::json::{self, Value};
-use crate::{bucket_bounds, CounterRec, GaugeRec, HistRec, RecKind, Snapshot, SpanRec};
+use crate::{bucket_bounds, CounterRec, GaugeRec, HistRec, JournalRec, RecKind, Snapshot, SpanRec};
 
 // ---------------------------------------------------------------------------
 // Human-readable tree summary
@@ -119,7 +119,7 @@ pub fn summary(snap: &Snapshot) -> String {
             "  ({} spans dropped at the {}-record buffer cap — span timeline incomplete; \
 counters and histograms remain complete)",
             snap.spans_dropped,
-            crate::SPAN_CAP
+            crate::span_capacity()
         );
     }
 
@@ -139,10 +139,17 @@ counters and histograms remain complete)",
         out.push_str("histograms (µs)\n");
         for h in &snap.histograms {
             let avg = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
+            let pct = |q: f64| h.percentile_us(q).unwrap_or(0);
             let _ = writeln!(
                 out,
-                "  {:<44} n={} avg={avg:.1} min={} max={}",
-                h.name, h.count, h.min, h.max
+                "  {:<44} n={} avg={avg:.1} p50={} p90={} p99={} min={} max={}",
+                h.name,
+                h.count,
+                pct(0.50),
+                pct(0.90),
+                pct(0.99),
+                h.min,
+                h.max
             );
             for (i, &n) in h.buckets.iter().enumerate() {
                 if n == 0 {
@@ -157,6 +164,30 @@ counters and histograms remain complete)",
             }
         }
     }
+    if !snap.events.is_empty() || !snap.events_dropped.is_empty() {
+        out.push_str("journal (most recent last)\n");
+        for e in &snap.events {
+            let _ = writeln!(
+                out,
+                "  [{:>6}] +{:<12} {:<28} trace={:016x} a={} b={}",
+                e.seq,
+                fmt_ns(e.t_ns),
+                e.kind,
+                e.trace,
+                e.a,
+                e.b
+            );
+        }
+        for d in &snap.events_dropped {
+            let _ = writeln!(
+                out,
+                "  ({} \"{}\" events dropped at the {}-event journal cap)",
+                d.value,
+                d.name,
+                crate::JOURNAL_CAP
+            );
+        }
+    }
     out
 }
 
@@ -166,14 +197,16 @@ counters and histograms remain complete)",
 
 /// Renders the snapshot as line-oriented JSON: one self-describing
 /// object per line (`"type"` ∈ meta | span | event | counter | gauge |
-/// hist). Order: meta first, then spans by start time, then metrics by
-/// name. [`from_json_lines`] inverts this exactly.
+/// hist | jevent | jdrop). Order: meta first, then spans by start time,
+/// then metrics by name, then journal entries. [`from_json_lines`]
+/// inverts this exactly (and still reads version-1 files, whose spans
+/// lack the `trace` field — it defaults to 0/untraced).
 #[must_use]
 pub fn json_lines(snap: &Snapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{{\"type\":\"meta\",\"version\":1,\"spans_dropped\":{}}}",
+        "{{\"type\":\"meta\",\"version\":2,\"spans_dropped\":{}}}",
         snap.spans_dropped
     );
     for s in &snap.spans {
@@ -183,13 +216,14 @@ pub fn json_lines(snap: &Snapshot) -> String {
         };
         let _ = writeln!(
             out,
-            "{{\"type\":\"{ty}\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+            "{{\"type\":\"{ty}\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"trace\":{}}}",
             s.id,
             s.parent,
             json::escape(&s.name),
             s.tid,
             s.start_ns,
-            s.dur_ns
+            s.dur_ns,
+            s.trace
         );
     }
     for c in &snap.counters {
@@ -220,6 +254,26 @@ pub fn json_lines(snap: &Snapshot) -> String {
             h.min,
             h.max,
             buckets.join(",")
+        );
+    }
+    for e in &snap.events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"jevent\",\"seq\":{},\"t_ns\":{},\"trace\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.seq,
+            e.t_ns,
+            e.trace,
+            json::escape(&e.kind),
+            e.a,
+            e.b
+        );
+    }
+    for d in &snap.events_dropped {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"jdrop\",\"kind\":\"{}\",\"count\":{}}}",
+            json::escape(&d.name),
+            d.value
         );
     }
     out
@@ -262,8 +316,33 @@ pub fn from_json_lines(text: &str) -> Result<Snapshot, String> {
                     start_ns: field("start_ns")?,
                     dur_ns: field("dur_ns")?,
                     kind: if ty == "span" { RecKind::Span } else { RecKind::Event },
+                    // Absent in version-1 files: those spans are untraced.
+                    trace: v.get("trace").and_then(Value::as_u64).unwrap_or(0),
                 });
             }
+            "jevent" => {
+                let field = |k: &str| v.get(k).and_then(Value::as_u64).ok_or_else(|| bad(k));
+                snap.events.push(JournalRec {
+                    seq: field("seq")?,
+                    t_ns: field("t_ns")?,
+                    trace: field("trace")?,
+                    kind: v
+                        .get("kind")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| bad("kind"))?
+                        .to_string(),
+                    a: field("a")?,
+                    b: field("b")?,
+                });
+            }
+            "jdrop" => snap.events_dropped.push(CounterRec {
+                name: v
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("kind"))?
+                    .to_string(),
+                value: v.get("count").and_then(Value::as_u64).ok_or_else(|| bad("count"))?,
+            }),
             "counter" => snap.counters.push(CounterRec {
                 name: v
                     .get("name")
@@ -312,9 +391,34 @@ pub fn from_json_lines(text: &str) -> Result<Snapshot, String> {
 /// Renders the snapshot as a Chrome trace-event array loadable in
 /// `chrome://tracing` / Perfetto: spans become complete (`"X"`) events
 /// with microsecond `ts`/`dur`, instants become `"i"` events, and
-/// counters are appended as one final `"C"` sample per counter.
+/// counters are appended as one final `"C"` sample per counter. Each
+/// span/instant carries its trace id in `args.trace` so traced requests
+/// are searchable in the viewer.
 #[must_use]
 pub fn chrome(snap: &Snapshot) -> String {
+    chrome_with_pid(snap, 1)
+}
+
+/// [`chrome`] with an explicit process id — `pastri trace --merge`
+/// renders the client snapshot as pid 1 and the server snapshot as
+/// pid 2 so the viewer shows one cross-process timeline.
+#[must_use]
+pub fn chrome_with_pid(snap: &Snapshot, pid: u64) -> String {
+    format!("[{}]\n", chrome_events(snap, pid).join(",\n "))
+}
+
+/// One merged Chrome trace from several snapshots, each under its own
+/// pid (the cross-process timeline `pastri trace --merge` writes).
+#[must_use]
+pub fn chrome_merged(parts: &[(&Snapshot, u64)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for &(snap, pid) in parts {
+        events.extend(chrome_events(snap, pid));
+    }
+    format!("[{}]\n", events.join(",\n "))
+}
+
+fn chrome_events(snap: &Snapshot, pid: u64) -> Vec<String> {
     let mut events: Vec<String> = Vec::with_capacity(snap.spans.len() + snap.counters.len());
     let mut last_ts_us = 0u64;
     for s in &snap.spans {
@@ -322,26 +426,28 @@ pub fn chrome(snap: &Snapshot) -> String {
         last_ts_us = last_ts_us.max(ts + s.dur_ns / 1_000);
         match s.kind {
             RecKind::Span => events.push(format!(
-                "{{\"name\":\"{}\",\"cat\":\"pastri\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"pastri\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"trace\":{}}}}}",
                 json::escape(&s.name),
                 s.dur_ns / 1_000,
-                s.tid
+                s.tid,
+                s.trace
             )),
             RecKind::Event => events.push(format!(
-                "{{\"name\":\"{}\",\"cat\":\"pastri\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\"pid\":1,\"tid\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"pastri\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\"pid\":{pid},\"tid\":{},\"args\":{{\"trace\":{}}}}}",
                 json::escape(&s.name),
-                s.tid
+                s.tid,
+                s.trace
             )),
         }
     }
     for c in &snap.counters {
         events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"pastri\",\"ph\":\"C\",\"ts\":{last_ts_us},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+            "{{\"name\":\"{}\",\"cat\":\"pastri\",\"ph\":\"C\",\"ts\":{last_ts_us},\"pid\":{pid},\"tid\":0,\"args\":{{\"value\":{}}}}}",
             json::escape(&c.name),
             c.value
         ));
     }
-    format!("[{}]\n", events.join(",\n "))
+    events
 }
 
 #[cfg(test)]
@@ -359,6 +465,7 @@ mod tests {
                     start_ns: 1_000,
                     dur_ns: 9_000_000,
                     kind: RecKind::Span,
+                    trace: 0xabcd,
                 },
                 SpanRec {
                     id: 2,
@@ -368,6 +475,7 @@ mod tests {
                     start_ns: 2_000,
                     dur_ns: 4_000,
                     kind: RecKind::Span,
+                    trace: 0xabcd,
                 },
                 SpanRec {
                     id: 4,
@@ -377,6 +485,7 @@ mod tests {
                     start_ns: 3_000,
                     dur_ns: 0,
                     kind: RecKind::Event,
+                    trace: 0,
                 },
                 SpanRec {
                     id: 3,
@@ -386,6 +495,7 @@ mod tests {
                     start_ns: 7_000,
                     dur_ns: 5_000,
                     kind: RecKind::Span,
+                    trace: 0xabcd,
                 },
             ],
             counters: vec![CounterRec {
@@ -411,6 +521,18 @@ mod tests {
                 },
             }],
             spans_dropped: 0,
+            events: vec![JournalRec {
+                seq: 3,
+                t_ns: 5_000,
+                trace: 0xabcd,
+                kind: "shed.queue_full".into(),
+                a: 2,
+                b: 17,
+            }],
+            events_dropped: vec![CounterRec {
+                name: "rpc.retry".into(),
+                value: 4,
+            }],
         }
     }
 
@@ -447,6 +569,51 @@ mod tests {
         assert!(from_json_lines("not json").is_err());
         assert!(from_json_lines("{\"type\":\"span\",\"id\":1}").is_err());
         assert!(from_json_lines("{\"type\":\"mystery\"}").is_err());
+        assert!(from_json_lines("{\"type\":\"jevent\",\"seq\":1}").is_err());
+    }
+
+    #[test]
+    fn from_json_lines_reads_version1_spans_as_untraced() {
+        let v1 = "{\"type\":\"meta\",\"version\":1,\"spans_dropped\":0}\n\
+{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"old\",\"tid\":0,\"start_ns\":5,\"dur_ns\":9}\n";
+        let snap = from_json_lines(v1).expect("version-1 files still load");
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].trace, 0);
+    }
+
+    #[test]
+    fn summary_prints_percentiles_and_journal() {
+        let text = summary(&sample());
+        let hist_line = text
+            .lines()
+            .find(|l| l.contains("durable.fsync_us"))
+            .expect("hist line present");
+        assert!(hist_line.contains("p50="), "{hist_line}");
+        assert!(hist_line.contains("p90="), "{hist_line}");
+        assert!(hist_line.contains("p99="), "{hist_line}");
+        assert!(text.contains("journal"), "{text}");
+        assert!(text.contains("shed.queue_full"), "{text}");
+        assert!(text.contains("rpc.retry"), "{text}");
+    }
+
+    #[test]
+    fn chrome_merged_keeps_pids_distinct_and_traces_searchable() {
+        let snap = sample();
+        let merged = chrome_merged(&[(&snap, 1), (&snap, 2)]);
+        let v = json::parse(&merged).expect("merged trace is one JSON array");
+        let events = v.as_array().expect("array");
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        let traced = events.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_u64)
+                == Some(0xabcd)
+        });
+        assert!(traced, "span trace ids present in args");
     }
 
     #[test]

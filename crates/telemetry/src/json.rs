@@ -19,7 +19,10 @@ pub enum Value {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number.
+    /// An integer token (no fraction or exponent), kept exact — trace
+    /// and span ids use all 64 bits, which `f64` cannot hold.
+    Int(i128),
+    /// Any other JSON number.
     Num(f64),
     /// A string, unescaped.
     Str(String),
@@ -39,29 +42,34 @@ impl Value {
         }
     }
 
-    /// The number, if this is one.
+    /// The number, if this is one (integers convert with `f64`'s usual
+    /// 53-bit rounding).
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Value::Int(i) => Some(*i as f64),
             Value::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    /// The number as an unsigned integer (rejects negatives/fractions
-    /// beyond f64 rounding).
+    /// The number as an unsigned integer — exact for integer tokens
+    /// (all 64 bits; trace ids depend on this), rejects negatives and
+    /// fractions.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 1.8e19 => Some(*n as u64),
             _ => None,
         }
     }
 
-    /// The number as a signed integer.
+    /// The number as a signed integer, exact for integer tokens.
     #[must_use]
     pub fn as_i64(&self) -> Option<i64> {
         match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
             Value::Num(n) if n.fract() == 0.0 && n.abs() <= 9.2e18 => Some(*n as i64),
             _ => None,
         }
@@ -309,6 +317,13 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
+        // Integer tokens stay exact (i128 covers the full u64 id
+        // space); anything with a fraction or exponent is a float.
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err("invalid number"))
@@ -344,8 +359,11 @@ mod tests {
         assert_eq!(parse("null").unwrap(), Value::Null);
         assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
         assert_eq!(parse("false").unwrap(), Value::Bool(false));
-        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
         assert_eq!(parse("-1.5e3").unwrap(), Value::Num(-1500.0));
+        // Full-width 64-bit ids survive exactly — f64 would round this.
+        assert_eq!(parse("2949826092126892291").unwrap().as_u64(), Some(2949826092126892291));
+        assert_eq!(parse("18446744073709551615").unwrap().as_u64(), Some(u64::MAX));
         assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
     }
 

@@ -40,6 +40,7 @@
 //! documented one is a breaking change.
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -104,6 +105,116 @@ fn thread_idx() -> u32 {
             i
         }
     })
+}
+
+// ---------------------------------------------------------------------------
+// Trace context: seeded cross-process request correlation
+// ---------------------------------------------------------------------------
+
+/// A request's cross-process correlation identity: the 64-bit trace id
+/// travels with the request over the wire (the PTRF TracedReadRequest
+/// frame) so the server's spans for that request carry the same id as
+/// the client's; `span_id` identifies the client-side span that issued
+/// the request. Both are non-zero — 0 everywhere means "untraced".
+///
+/// Ids are a pure function of a session seed and a per-process request
+/// counter ([`trace_ids`]) — no clocks, no ambient entropy — so a
+/// seeded run produces the same id sequence on every repeat and at any
+/// thread count, which is what the trace-determinism tests and
+/// BENCH_obs.json hold the stack to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Request-scoped correlation id shared by every process that
+    /// touches the request.
+    pub trace_id: u64,
+    /// Id of the span that originated the request (client side).
+    pub span_id: u64,
+}
+
+/// Local splitmix64 (this crate is dependency-free by design; the same
+/// generator exists in `durable::retry` but cannot be imported here).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Pure trace/span id derivation: the `n`-th trace minted under `seed`.
+/// Deterministic and collision-resistant enough for correlation (ids
+/// are forced non-zero so they never collide with "untraced").
+#[must_use]
+pub fn trace_ids(seed: u64, n: u64) -> TraceContext {
+    let mut trace_id = splitmix64(seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    if trace_id == 0 {
+        trace_id = 0x7061_5374_7269; // "paStri", never naturally minted
+    }
+    let mut span_id = splitmix64(trace_id ^ 0x6f62_735f_7370_616e);
+    if span_id == 0 {
+        span_id = 1;
+    }
+    TraceContext { trace_id, span_id }
+}
+
+static TRACE_SEED: AtomicU64 = AtomicU64::new(0);
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Seeds the trace-id generator and resets its request counter, so the
+/// next [`new_trace`] is trace 0 of `seed`. The CLI calls this with the
+/// run's `--seed` before issuing requests.
+pub fn set_trace_seed(seed: u64) {
+    TRACE_SEED.store(seed, Ordering::SeqCst);
+    TRACE_COUNTER.store(0, Ordering::SeqCst);
+}
+
+/// Mints the next trace context under the current seed (seed 0 until
+/// [`set_trace_seed`] is called — still deterministic, just a fixed
+/// default stream).
+#[must_use]
+pub fn new_trace() -> TraceContext {
+    let seed = TRACE_SEED.load(Ordering::Relaxed);
+    let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    trace_ids(seed, n)
+}
+
+thread_local! {
+    /// The trace context every span/event/journal entry recorded on
+    /// this thread is stamped with.
+    static CURRENT_TRACE: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The trace context currently installed on this thread, if any.
+#[must_use]
+pub fn current_trace() -> Option<TraceContext> {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Installs `ctx` as this thread's current trace until the returned
+/// guard drops (the previous context, if any, is restored). The server
+/// transport wraps request handling in this so every span recorded
+/// while serving carries the client's trace id. Works whether or not
+/// the recorder is enabled — adoption must not depend on local state.
+#[must_use = "the trace context is uninstalled when this guard drops"]
+pub fn push_trace(ctx: TraceContext) -> TraceGuard {
+    let prev = CURRENT_TRACE.with(|c| c.replace(Some(ctx)));
+    TraceGuard { prev }
+}
+
+/// RAII handle restoring the previously-installed trace context; see
+/// [`push_trace`].
+pub struct TraceGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_TRACE.with(|c| c.set(prev));
+    }
+}
+
+fn current_trace_id() -> u64 {
+    CURRENT_TRACE.with(Cell::get).map_or(0, |t| t.trace_id)
 }
 
 // ---------------------------------------------------------------------------
@@ -330,11 +441,43 @@ static HISTS: Table<HistVal> = Table::new();
 // Span storage
 // ---------------------------------------------------------------------------
 
-/// Hard cap on buffered span/event records; beyond it new records are
-/// counted in [`Snapshot::spans_dropped`] instead of stored, so a
-/// pathological run cannot eat unbounded memory.
+/// Default cap on buffered span/event records; beyond the effective cap
+/// ([`span_capacity`]) new records are counted in
+/// [`Snapshot::spans_dropped`] instead of stored, so a pathological run
+/// cannot eat unbounded memory. Override with [`set_capacity`] or the
+/// `PASTRI_TELEMETRY_CAP` environment variable.
 pub const SPAN_CAP: usize = 100_000;
 const SPAN_SHARDS: usize = 8;
+
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the span-record cap for this process (0 restores the
+/// default resolution: `PASTRI_TELEMETRY_CAP` env, else [`SPAN_CAP`]).
+/// Records already buffered are kept even if the new cap is smaller;
+/// only future pushes see the new limit.
+pub fn set_capacity(cap: usize) {
+    CAP_OVERRIDE.store(cap, Ordering::SeqCst);
+}
+
+/// The effective span-record cap: [`set_capacity`] override if set,
+/// else `PASTRI_TELEMETRY_CAP` from the environment (read once), else
+/// [`SPAN_CAP`].
+#[must_use]
+pub fn span_capacity() -> usize {
+    let o = CAP_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    static ENV_CAP: OnceLock<Option<usize>> = OnceLock::new();
+    ENV_CAP
+        .get_or_init(|| {
+            std::env::var("PASTRI_TELEMETRY_CAP")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or(SPAN_CAP)
+}
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static SPAN_COUNT: AtomicUsize = AtomicUsize::new(0);
@@ -357,6 +500,7 @@ struct Rec {
     start_ns: u64,
     dur_ns: u64,
     kind: RecKind,
+    trace: u64,
 }
 
 fn span_shards() -> &'static [Mutex<Vec<Rec>>; SPAN_SHARDS] {
@@ -365,7 +509,7 @@ fn span_shards() -> &'static [Mutex<Vec<Rec>>; SPAN_SHARDS] {
 }
 
 fn push_rec(rec: Rec) {
-    if SPAN_COUNT.fetch_add(1, Ordering::Relaxed) >= SPAN_CAP {
+    if SPAN_COUNT.fetch_add(1, Ordering::Relaxed) >= span_capacity() {
         SPAN_COUNT.fetch_sub(1, Ordering::Relaxed);
         SPANS_DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
@@ -403,6 +547,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             parent,
             name,
             start_ns: now_ns(),
+            trace: current_trace_id(),
         }),
     }
 }
@@ -412,6 +557,7 @@ struct OpenSpan {
     parent: u64,
     name: &'static str,
     start_ns: u64,
+    trace: u64,
 }
 
 /// RAII handle for an open span; see [`span`].
@@ -443,6 +589,7 @@ impl Drop for SpanGuard {
             start_ns: open.start_ns,
             dur_ns: end.saturating_sub(open.start_ns),
             kind: RecKind::Span,
+            trace: open.trace,
         });
     }
 }
@@ -463,6 +610,7 @@ pub fn event(name: &'static str) {
         start_ns: now_ns(),
         dur_ns: 0,
         kind: RecKind::Event,
+        trace: current_trace_id(),
     });
 }
 
@@ -520,11 +668,69 @@ pub fn time_us<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Structured event journal
+// ---------------------------------------------------------------------------
+
+/// Fixed capacity of the structured event journal: a ring of the most
+/// recent operational events (sheds, breaker transitions, retries,
+/// repairs, slow requests). When full, the *oldest* entry is dropped
+/// and counted per kind in [`Snapshot::events_dropped`] — `top` and
+/// `report` always see the newest events plus an honest account of what
+/// scrolled off.
+pub const JOURNAL_CAP: usize = 1024;
+
+static JOURNAL_SEQ: AtomicU64 = AtomicU64::new(0);
+static JOURNAL_DROPS: Table<CounterVal> = Table::new();
+
+struct JEntry {
+    seq: u64,
+    t_ns: u64,
+    trace: u64,
+    kind: &'static str,
+    a: u64,
+    b: u64,
+}
+
+fn journal_ring() -> &'static Mutex<VecDeque<JEntry>> {
+    static RING: OnceLock<Mutex<VecDeque<JEntry>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(JOURNAL_CAP)))
+}
+
+/// Appends a structured event to the bounded journal, stamped with this
+/// thread's current trace id. `kind` is a stable-contract name (e.g.
+/// `shed.queue_full`, `breaker.open`, `rpc.retry`, `store.repair`);
+/// `a`/`b` are kind-specific payload words (block id, attempt number,
+/// microseconds — documented per kind in DESIGN.md). No-op while the
+/// recorder is disabled.
+pub fn journal(kind: &'static str, a: u64, b: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let entry = JEntry {
+        seq: JOURNAL_SEQ.fetch_add(1, Ordering::Relaxed),
+        t_ns: now_ns(),
+        trace: current_trace_id(),
+        kind,
+        a,
+        b,
+    };
+    let mut ring = journal_ring().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if ring.len() >= JOURNAL_CAP {
+        if let Some(old) = ring.pop_front() {
+            if let Some(c) = JOURNAL_DROPS.intern(old.kind) {
+                c.add(1);
+            }
+        }
+    }
+    ring.push_back(entry);
+}
+
 /// Clears every recorded value: counters/gauges/histograms zero in
-/// place, span buffers empty, drop tally resets. Interned names stay
-/// registered (they are process-immortal). Callers own serialization —
-/// the CLI resets once at startup; concurrent tests that enable
-/// telemetry must hold a shared lock around reset+assert.
+/// place, span buffers empty, journal ring empty, drop tallies reset.
+/// Interned names stay registered (they are process-immortal). Callers
+/// own serialization — the CLI resets once at startup; concurrent tests
+/// that enable telemetry must hold a shared lock around reset+assert.
 pub fn reset() {
     for (_, c) in COUNTERS.iter() {
         c.zero();
@@ -540,6 +746,14 @@ pub fn reset() {
     }
     SPAN_COUNT.store(0, Ordering::Relaxed);
     SPANS_DROPPED.store(0, Ordering::Relaxed);
+    journal_ring()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    JOURNAL_SEQ.store(0, Ordering::Relaxed);
+    for (_, c) in JOURNAL_DROPS.iter() {
+        c.zero();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -563,6 +777,28 @@ pub struct SpanRec {
     pub dur_ns: u64,
     /// Span or instant event.
     pub kind: RecKind,
+    /// Trace id installed on the recording thread when the span opened
+    /// (0 = untraced). Shared across processes by the wire protocol —
+    /// this is the join key `pastri trace --merge` correlates on.
+    pub trace: u64,
+}
+
+/// One structured journal event (see [`journal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRec {
+    /// Monotonic sequence number (gaps mean nothing was lost — drops
+    /// are counted separately; seq is assigned before ring admission).
+    pub seq: u64,
+    /// Nanoseconds since the recorder epoch.
+    pub t_ns: u64,
+    /// Trace id current on the recording thread (0 = untraced).
+    pub trace: u64,
+    /// Stable-contract event kind.
+    pub kind: String,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
 }
 
 /// A counter's name and summed value.
@@ -637,8 +873,13 @@ pub struct Snapshot {
     pub gauges: Vec<GaugeRec>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistRec>,
-    /// Spans/events discarded after the [`SPAN_CAP`] buffer filled.
+    /// Spans/events discarded after the [`span_capacity`] buffer filled.
     pub spans_dropped: u64,
+    /// Journal events still in the ring, oldest first.
+    pub events: Vec<JournalRec>,
+    /// Per-kind counts of journal events dropped at [`JOURNAL_CAP`],
+    /// sorted by kind.
+    pub events_dropped: Vec<CounterRec>,
 }
 
 impl Snapshot {
@@ -673,6 +914,7 @@ pub fn snapshot() -> Snapshot {
             start_ns: r.start_ns,
             dur_ns: r.dur_ns,
             kind: r.kind,
+            trace: r.trace,
         }));
     }
     spans.sort_by_key(|s| (s.start_ns, s.id));
@@ -712,12 +954,38 @@ pub fn snapshot() -> Snapshot {
         .collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
 
+    let events: Vec<JournalRec> = journal_ring()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(|e| JournalRec {
+            seq: e.seq,
+            t_ns: e.t_ns,
+            trace: e.trace,
+            kind: e.kind.to_string(),
+            a: e.a,
+            b: e.b,
+        })
+        .collect();
+
+    let mut events_dropped: Vec<CounterRec> = JOURNAL_DROPS
+        .iter()
+        .map(|(name, c)| CounterRec {
+            name: name.to_string(),
+            value: c.sum(),
+        })
+        .filter(|c| c.value != 0)
+        .collect();
+    events_dropped.sort_by(|a, b| a.name.cmp(&b.name));
+
     Snapshot {
         spans,
         counters,
         gauges,
         histograms,
         spans_dropped: SPANS_DROPPED.load(Ordering::Relaxed),
+        events,
+        events_dropped,
     }
 }
 
@@ -865,12 +1133,13 @@ mod tests {
         set_enabled(true);
         reset();
         // Fill the buffer past the cap with cheap events.
-        for _ in 0..(SPAN_CAP + 50) {
+        let cap = span_capacity();
+        for _ in 0..(cap + 50) {
             event("cap.filler");
         }
         let snap = snapshot();
         set_enabled(false);
-        assert_eq!(snap.spans.len(), SPAN_CAP);
+        assert_eq!(snap.spans.len(), cap);
         assert_eq!(snap.spans_dropped, 50);
         reset();
         assert_eq!(snapshot().spans.len(), 0);
@@ -906,6 +1175,132 @@ mod tests {
                 assert_eq!(bucket_of(hi.unwrap() - 1), i);
             }
         }
+    }
+
+    #[test]
+    fn trace_ids_are_pure_and_nonzero() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for n in 0..64u64 {
+                let a = trace_ids(seed, n);
+                let b = trace_ids(seed, n);
+                assert_eq!(a, b, "pure function of (seed, n)");
+                assert_ne!(a.trace_id, 0);
+                assert_ne!(a.span_id, 0);
+            }
+        }
+        // Distinct requests get distinct traces, distinct seeds distinct streams.
+        assert_ne!(trace_ids(7, 0).trace_id, trace_ids(7, 1).trace_id);
+        assert_ne!(trace_ids(7, 0).trace_id, trace_ids(8, 0).trace_id);
+    }
+
+    #[test]
+    fn push_trace_stamps_spans_and_restores_previous() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        let outer_ctx = trace_ids(99, 0);
+        let inner_ctx = trace_ids(99, 1);
+        {
+            let _t = push_trace(outer_ctx);
+            assert_eq!(current_trace(), Some(outer_ctx));
+            let _a = span("tr.outer");
+            {
+                let _t2 = push_trace(inner_ctx);
+                event("tr.marked");
+            }
+            assert_eq!(current_trace(), Some(outer_ctx), "previous context restored");
+        }
+        assert_eq!(current_trace(), None);
+        let _untraced = span("tr.bare");
+        drop(_untraced);
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.spans_named("tr.outer").next().unwrap().trace, outer_ctx.trace_id);
+        assert_eq!(snap.spans_named("tr.marked").next().unwrap().trace, inner_ctx.trace_id);
+        assert_eq!(snap.spans_named("tr.bare").next().unwrap().trace, 0);
+    }
+
+    #[test]
+    fn seeded_trace_stream_is_deterministic() {
+        let _g = lock();
+        set_trace_seed(1234);
+        let first: Vec<TraceContext> = (0..8).map(|_| new_trace()).collect();
+        set_trace_seed(1234);
+        let second: Vec<TraceContext> = (0..8).map(|_| new_trace()).collect();
+        assert_eq!(first, second, "same seed ⇒ same id sequence");
+        set_trace_seed(0);
+    }
+
+    #[test]
+    fn journal_ring_drops_oldest_and_counts_per_kind() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        for i in 0..(JOURNAL_CAP as u64 + 10) {
+            journal("j.filler", i, 0);
+        }
+        journal("j.rare", 1, 2);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.events.len(), JOURNAL_CAP);
+        // Oldest entries scrolled off; the newest are intact.
+        assert_eq!(snap.events.last().unwrap().kind, "j.rare");
+        assert_eq!(snap.events.last().unwrap().a, 1);
+        assert_eq!(snap.events.last().unwrap().b, 2);
+        let drops = snap
+            .events_dropped
+            .iter()
+            .find(|c| c.name == "j.filler")
+            .expect("dropped kind counted");
+        assert_eq!(drops.value, 11, "10 overflow + 1 displaced by j.rare");
+        reset();
+        let clean = snapshot();
+        assert!(clean.events.is_empty());
+        assert!(clean.events_dropped.is_empty());
+    }
+
+    #[test]
+    fn journal_entries_carry_current_trace() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        let ctx = trace_ids(5, 0);
+        {
+            let _t = push_trace(ctx);
+            journal("j.traced", 7, 8);
+        }
+        journal("j.untraced", 0, 0);
+        set_enabled(false);
+        let snap = snapshot();
+        let traced = snap.events.iter().find(|e| e.kind == "j.traced").unwrap();
+        assert_eq!(traced.trace, ctx.trace_id);
+        let untraced = snap.events.iter().find(|e| e.kind == "j.untraced").unwrap();
+        assert_eq!(untraced.trace, 0);
+    }
+
+    #[test]
+    fn span_capacity_is_configurable() {
+        let _g = lock();
+        let env_default = std::env::var("PASTRI_TELEMETRY_CAP").is_err();
+        if env_default {
+            assert_eq!(span_capacity(), SPAN_CAP, "default resolution");
+        }
+        set_capacity(100);
+        assert_eq!(span_capacity(), 100);
+        set_enabled(true);
+        reset();
+        for _ in 0..150 {
+            event("cap.small");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        set_capacity(0); // restore default before any assert can bail
+        assert_eq!(snap.spans.len(), 100);
+        assert_eq!(snap.spans_dropped, 50);
+        if env_default {
+            assert_eq!(span_capacity(), SPAN_CAP);
+        }
+        reset();
     }
 
     #[test]
